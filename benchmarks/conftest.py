@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each ``benchmarks/test_bench_*.py`` regenerates one of the paper's
+tables or figures and prints it (run with ``-s`` to see the output;
+without it the rendered results still land in the captured stdout).
+``REPRO_SCALE`` (default 1.0) multiplies trace lengths / instruction
+budgets for tighter estimates at the cost of runtime.
+"""
+
+import os
+
+import pytest
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 1000) -> int:
+    return max(minimum, int(value * scale()))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once and report its wall time."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

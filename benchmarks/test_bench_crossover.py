@@ -1,0 +1,20 @@
+"""Derived experiment: break-even conventional memory latency."""
+
+from conftest import scaled
+
+from repro.analysis import crossover
+
+
+def test_bench_crossover(once):
+    experiment = once(
+        crossover,
+        trace_len=scaled(60_000),
+        instructions=scaled(8_000, minimum=3_000),
+    )
+    print()
+    print(experiment.render())
+    # The paper's thesis: the conventional hierarchy loses within any
+    # realistic memory latency.
+    for name in experiment.benchmarks:
+        assert experiment.crossover[name] is not None, name
+        assert experiment.crossover[name] <= 24

@@ -1,0 +1,23 @@
+"""Section 5.6: impact of the number of DRAM banks."""
+
+from conftest import scaled
+
+from repro.analysis import section56
+
+
+def test_bench_section56(once):
+    experiment = once(
+        section56,
+        trace_len=scaled(60_000),
+        instructions=scaled(10_000, minimum=4_000),
+    )
+    print()
+    print(experiment.render())
+    # "In all cases, the performance differences were below the error
+    # limits of the simulation."
+    cpis = list(experiment.cpi.values())
+    assert max(cpis) / min(cpis) < 1.12
+    # "each of the 16 banks are busy only 1.2% of the time, and increases
+    # to only 9.6% with 2 banks" — the utilization scales ~linearly.
+    assert experiment.utilization[2] > 3 * experiment.utilization[16]
+    assert experiment.utilization[16] < 0.05

@@ -1,0 +1,48 @@
+"""Design-space exploration of the column-buffer cache organization.
+
+Sweeps the knobs Section 4.1/5.6 discusses — victim cache presence and
+size, number of banks (which fixes the set count), and data-column count
+(associativity) — for a conflict-heavy benchmark, showing why the paper
+settled on 16 banks x 2 data columns + a 16-entry victim cache.
+
+    python examples/cache_design_space.py [benchmark]
+"""
+
+import sys
+
+from repro.caches import ColumnBufferCache, VictimCache
+from repro.common.params import CacheGeometry, VictimCacheParams
+from repro.workloads.spec import get_proxy
+
+
+def sweep(name: str) -> None:
+    proxy = get_proxy(name)
+    trace = proxy.data_trace(120_000, seed=1)
+    print(f"D-cache design space for {name} ({len(trace)} references)\n")
+
+    print(f"{'configuration':44s} {'miss rate':>10s}")
+    configs: list[tuple[str, ColumnBufferCache]] = []
+    for banks in (4, 8, 16):
+        for columns in (1, 2):
+            geometry = CacheGeometry(banks * columns * 512, 512, columns)
+            label = f"{banks} banks x {columns} data columns, no victim"
+            configs.append((label, ColumnBufferCache(geometry)))
+    for entries in (4, 8, 16, 32):
+        geometry = CacheGeometry(16 * 2 * 512, 512, 2)
+        victim = VictimCache(VictimCacheParams(entries=entries))
+        label = f"16 banks x 2 columns + {entries}-entry victim"
+        configs.append((label, ColumnBufferCache(geometry, victim=victim)))
+
+    for label, cache in configs:
+        stats = cache.run(trace)
+        print(f"{label:44s} {stats.miss_rate:10.4%}")
+
+    print(
+        "\nThe paper's pick — 16 banks, 2-way columns, 16-entry victim —\n"
+        "absorbs the conflict misses that thrash smaller organizations\n"
+        "(Sections 5.3, 5.4, 5.6)."
+    )
+
+
+if __name__ == "__main__":
+    sweep(sys.argv[1] if len(sys.argv) > 1 else "101.tomcatv")

@@ -1,0 +1,55 @@
+"""Execution-driven validation with the mini-RISC ISA.
+
+Assembles and *executes* real kernel programs, then times the very same
+execution under two memory systems: the proposed column-buffer device
+(512 B lines, 6-cycle DRAM) and a conventional 32 B-line cache with the
+same capacity.  The streaming kernel rewards long lines; the pointer
+chase does not — the Figure 7/8 story from actual running code instead
+of workload proxies.
+
+    python examples/execution_driven_isa.py
+"""
+
+from repro.caches import DirectMappedCache, proposed_dcache, proposed_icache
+from repro.isa import Assembler, CPU, CacheMemoryModel, PipelineTimer
+from repro.isa.programs import list_traversal, matmul, stride_walk, vector_sum
+
+
+def time_kernel(name: str, source: str) -> None:
+    program = Assembler().assemble(source)
+    execution = CPU(program, keep_instruction_objects=True).run()
+    timer = PipelineTimer()
+
+    proposed = CacheMemoryModel(proposed_icache(), proposed_dcache(), miss_cycles=6)
+    conventional = CacheMemoryModel(
+        DirectMappedCache(8192, 32),
+        DirectMappedCache(16384, 32),
+        miss_cycles=24,  # conventional memory is several chip crossings away
+    )
+    t_proposed = timer.run(execution, proposed)
+    t_conventional = timer.run(
+        CPU(program, keep_instruction_objects=True).run(), conventional
+    )
+    print(
+        f"{name:16s} {execution.instructions_executed:8d} instr   "
+        f"integrated CPI {t_proposed.cpi:5.2f}   "
+        f"conventional CPI {t_conventional.cpi:5.2f}   "
+        f"advantage {t_conventional.cpi / t_proposed.cpi:4.2f}x"
+    )
+
+
+def main() -> None:
+    print("Execution-driven kernels on the mini-RISC ISA\n")
+    time_kernel("vector_sum", vector_sum(4096))
+    time_kernel("matmul", matmul(12))
+    time_kernel("list_traversal", list_traversal(512, laps=4))
+    time_kernel("stride_walk_4k", stride_walk(128 * 1024, 4096, passes=2))
+    print(
+        "\nStreaming code loves the 512 B lines and 6-cycle DRAM;\n"
+        "sparse strides show the smallest advantage — matching the\n"
+        "proxy-driven conclusions of Figures 7 and 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and ``python setup.py develop``) work.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Command-line experiment runner.
+
+    python -m repro list                 # show available experiments
+    python -m repro table4               # regenerate one table/figure
+    python -m repro all                  # regenerate everything
+    python -m repro figures13-17 --procs 1,2,4
+
+Rendered output matches what the paper's tables and figures report;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import EXPERIMENTS
+
+
+def _render(result) -> str:
+    if isinstance(result, list):
+        return "\n\n".join(item.render() for item in result)
+    return result.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--procs",
+        help="comma-separated processor counts for figures13-17",
+        default=None,
+    )
+    parser.add_argument(
+        "--trace-len",
+        type=int,
+        default=None,
+        help="trace length for miss-rate/CPI experiments",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name:14s} {doc[0] if doc else ''}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs = {}
+        if args.procs and name == "figures13-17":
+            kwargs["proc_counts"] = tuple(
+                int(p) for p in args.procs.split(",")
+            )
+        if args.trace_len and name in (
+            "figure7", "figure8", "figure11", "figure12", "table3", "table4",
+            "section5.6",
+        ):
+            kwargs["trace_len"] = args.trace_len
+        started = time.time()
+        result = fn(**kwargs)
+        print(_render(result))
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Experiment registry: every table and figure of the paper's evaluation."""
+
+from repro.analysis.experiments import (
+    crossover,
+    figure2,
+    figure7,
+    figure8,
+    figure11,
+    figure12,
+    figures13_17,
+    section56,
+    splash_figure,
+    table1,
+    table3,
+    table4,
+)
+from repro.paperdata import (
+    PAPER_BANK_UTILIZATION,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    spec_ratio_constant,
+)
+from repro.analysis.render import ascii_table, percent, series_block
+from repro.analysis.vision import (
+    FramebufferBudget,
+    MotherboardBudget,
+    framebuffer_budget,
+    motherboard_budget,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "crossover": crossover,
+    "figure2": figure2,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure11": figure11,
+    "figure12": figure12,
+    "table3": table3,
+    "table4": table4,
+    "section5.6": section56,
+    "figures13-17": figures13_17,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_BANK_UTILIZATION",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "FramebufferBudget",
+    "MotherboardBudget",
+    "ascii_table",
+    "framebuffer_budget",
+    "motherboard_budget",
+    "crossover",
+    "figure2",
+    "figure7",
+    "figure8",
+    "figure11",
+    "figure12",
+    "figures13_17",
+    "percent",
+    "section56",
+    "series_block",
+    "spec_ratio_constant",
+    "splash_figure",
+    "table1",
+    "table3",
+    "table4",
+]

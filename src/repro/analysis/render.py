@@ -1,0 +1,42 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width ASCII table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                columns[i].append(f"{cell:.3f}")
+            else:
+                columns[i].append(str(cell))
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in range(1, len(columns[0])):
+        lines.append(
+            "  ".join(columns[c][r].rjust(widths[c]) for c in range(len(columns)))
+        )
+    return "\n".join(lines)
+
+
+def series_block(title: str, xs: Sequence[object], series: dict[str, Sequence[float]],
+                 x_label: str = "x") -> str:
+    """A labelled multi-series block (one row per x value)."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series] for i, x in enumerate(xs)]
+    return f"{title}\n{ascii_table(headers, rows)}"
+
+
+def percent(value: float) -> str:
+    return f"{100 * value:.2f}%"

@@ -1,0 +1,89 @@
+"""The Section 8 vision, quantified.
+
+Three feasibility calculations behind Figure 18's silicon-less
+motherboard:
+
+- a **framebuffer** that refreshes the display straight out of main
+  memory, living off the device's internal bandwidth;
+- the **bisection bandwidth** of a machine that grows by plugging in
+  more integrated devices (each brings four 2.5 Gbit/s links);
+- the **power budget** of a socket-only motherboard (each device
+  dissipates ~1.5 W, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.params import IntegratedDeviceParams
+
+
+@dataclass(frozen=True)
+class FramebufferBudget:
+    width: int
+    height: int
+    bits_per_pixel: int
+    refresh_hz: float
+    bandwidth_gbytes: float  # consumed by refresh
+    internal_fraction: float  # of one device's internal bandwidth
+
+    @property
+    def feasible(self) -> bool:
+        """Refresh must leave most of the internal bandwidth to the CPU."""
+        return self.internal_fraction < 0.25
+
+
+def framebuffer_budget(
+    width: int = 1280,
+    height: int = 1024,
+    bits_per_pixel: int = 24,
+    refresh_hz: float = 72.0,
+    params: IntegratedDeviceParams | None = None,
+) -> FramebufferBudget:
+    """Bandwidth cost of refreshing a display from main memory."""
+    if min(width, height, bits_per_pixel) <= 0 or refresh_hz <= 0:
+        raise ConfigError("display parameters must be positive")
+    params = params or IntegratedDeviceParams()
+    bytes_per_second = width * height * bits_per_pixel / 8 * refresh_hz
+    gbytes = bytes_per_second / 1e9
+    return FramebufferBudget(
+        width=width,
+        height=height,
+        bits_per_pixel=bits_per_pixel,
+        refresh_hz=refresh_hz,
+        bandwidth_gbytes=gbytes,
+        internal_fraction=gbytes / params.internal_bandwidth_gbytes,
+    )
+
+
+@dataclass(frozen=True)
+class MotherboardBudget:
+    nodes: int
+    memory_gbytes: float
+    bisection_gbytes: float
+    power_watts: float
+
+
+def motherboard_budget(
+    nodes: int,
+    params: IntegratedDeviceParams | None = None,
+    megabits_per_device: int = 256,
+    watts_per_device: float = 1.5,
+) -> MotherboardBudget:
+    """Aggregate capability of ``nodes`` devices on a passive board.
+
+    Bisection bandwidth scales with node count because every added
+    device brings its own links (Section 8: "the system's bi-sectional
+    bandwidth increases as components are added").
+    """
+    if nodes < 1:
+        raise ConfigError("need at least one node")
+    params = params or IntegratedDeviceParams()
+    per_node_io = params.io_bandwidth_gbytes
+    return MotherboardBudget(
+        nodes=nodes,
+        memory_gbytes=nodes * megabits_per_device / 8 / 1024,
+        bisection_gbytes=nodes / 2 * per_node_io,
+        power_watts=nodes * watts_per_device,
+    )

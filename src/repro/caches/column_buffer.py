@@ -1,0 +1,137 @@
+"""The DRAM column-buffer caches of Section 4.1.
+
+Each of the 16 DRAM banks transfers a whole 4 Kbit (512 byte) column
+between the sense amplifiers and its column buffers in one access, so the
+cache line size equals the column size and a miss fills the entire line at
+"zero" cost beyond the array access itself.
+
+Geometrically the data cache is a 2-way set-associative cache whose sets
+are the banks (two data columns per bank, 32 x 512 B = 16 KB) and the
+instruction cache is direct-mapped (one column per bank, 16 x 512 B =
+8 KB).  What distinguishes this model from a plain set-associative cache
+is the victim-cache coupling: the cache tracks the most recently accessed
+32-byte sub-block of every resident line, and on eviction hands exactly
+that sub-block to the victim cache (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.address import line_address, set_index, tag_of
+from repro.common.params import CacheGeometry, IntegratedDeviceParams
+from repro.caches.base import Cache
+from repro.caches.victim import VictimCache
+
+
+@dataclass
+class _Line:
+    tag: int
+    last_sub_addr: int  # byte address of the most recently accessed sub-block
+    dirty: bool = False
+
+
+class ColumnBufferCache(Cache):
+    """Column-buffer cache with optional victim-cache coupling.
+
+    A victim hit counts as a cache hit in the statistics (both cost one
+    cycle, Table 6); ``main_hits`` / ``victim_hits`` split them apart.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        victim: VictimCache | None = None,
+        sub_block_bytes: int = 32,
+        on_evict_line=None,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry
+        self.victim = victim
+        self.sub_block_bytes = sub_block_bytes
+        self._on_evict_line = on_evict_line  # called with (line_addr, dirty)
+        self._num_sets = geometry.num_sets
+        self._ways = geometry.ways
+        self._line = geometry.line_bytes
+        self._sets: list[list[_Line]] = [[] for _ in range(self._num_sets)]
+        self.main_hits = 0
+        self.victim_hits = 0
+        self.last_hit_was_victim = False
+
+    def _lookup_and_update(self, addr: int, write: bool) -> bool:
+        index = set_index(addr, self._line, self._num_sets)
+        tag = tag_of(addr, self._line, self._num_sets)
+        lines = self._sets[index]
+        sub_addr = line_address(addr, self.sub_block_bytes)
+        self.last_hit_was_victim = False
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                line.last_sub_addr = sub_addr
+                line.dirty = line.dirty or write
+                if pos != len(lines) - 1:
+                    lines.append(lines.pop(pos))
+                self.main_hits += 1
+                return True
+        if self.victim is not None and self.victim.probe(addr):
+            # Served from the victim buffer; the column buffer is NOT
+            # refilled (line-size disparity, Section 5.4).
+            self.victim_hits += 1
+            self.last_hit_was_victim = True
+            return True
+        # Miss: evict the set's LRU column, capturing its hot sub-block.
+        if len(lines) >= self._ways:
+            evicted = lines.pop(0)
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.stats.writebacks += 1
+            if self._on_evict_line is not None:
+                bits_line = (self._line - 1).bit_length()
+                bits_set = (self._num_sets - 1).bit_length()
+                evicted_addr = (evicted.tag << (bits_line + bits_set)) | (
+                    index << bits_line
+                )
+                self._on_evict_line(evicted_addr, evicted.dirty)
+            if self.victim is not None:
+                self.victim.insert(evicted.last_sub_addr)
+        lines.append(_Line(tag=tag, last_sub_addr=sub_addr, dirty=write))
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating probe of the column buffers only."""
+        index = set_index(addr, self._line, self._num_sets)
+        tag = tag_of(addr, self._line, self._num_sets)
+        return any(line.tag == tag for line in self._sets[index])
+
+    def resident_lines(self) -> list[int]:
+        """Byte addresses of resident column-buffer lines."""
+        bits_line = (self._line - 1).bit_length()
+        bits_set = (self._num_sets - 1).bit_length()
+        out = []
+        for index, lines in enumerate(self._sets):
+            for line in lines:
+                out.append((line.tag << (bits_line + bits_set)) | (index << bits_line))
+        return out
+
+    def reset(self) -> None:
+        super().reset()
+        self._sets = [[] for _ in range(self._num_sets)]
+        self.main_hits = 0
+        self.victim_hits = 0
+        if self.victim is not None:
+            self.victim.reset()
+
+
+def proposed_icache(params: IntegratedDeviceParams | None = None) -> ColumnBufferCache:
+    """The paper's 8 KB direct-mapped column-buffer instruction cache."""
+    params = params or IntegratedDeviceParams()
+    return ColumnBufferCache(params.icache_geometry)
+
+
+def proposed_dcache(
+    params: IntegratedDeviceParams | None = None,
+    with_victim: bool = True,
+) -> ColumnBufferCache:
+    """The paper's 16 KB 2-way column-buffer data cache (+victim cache)."""
+    params = params or IntegratedDeviceParams()
+    victim = VictimCache(params.victim) if with_victim else None
+    return ColumnBufferCache(params.dcache_geometry, victim=victim)

@@ -1,0 +1,105 @@
+"""Vectorized exact cache simulation fast paths.
+
+The figure harnesses sweep many conventional cache configurations over
+traces of hundreds of thousands of references; these numpy routines give
+exact direct-mapped results orders of magnitude faster than the
+reference simulators.  Correctness is cross-checked against the
+object-oriented models in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.address import vector_set_index, vector_tag
+from repro.common.params import CacheGeometry
+
+
+def direct_mapped_miss_flags(addrs: np.ndarray, geometry: CacheGeometry) -> np.ndarray:
+    """Exact per-reference miss flags for a direct-mapped cache.
+
+    A reference misses iff it is the first access to its set or the
+    previous access to the same set had a different tag — which is the
+    complete direct-mapped replacement behaviour.
+    """
+    if geometry.ways != 1:
+        raise ValueError("direct_mapped_miss_flags requires a 1-way geometry")
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    sets = vector_set_index(addrs, geometry.line_bytes, geometry.num_sets)
+    tags = vector_tag(addrs, geometry.line_bytes, geometry.num_sets)
+    order = np.argsort(sets, kind="stable")  # groups each set, preserves time
+    sorted_sets = sets[order]
+    sorted_tags = tags[order]
+    miss_sorted = np.empty(n, dtype=bool)
+    miss_sorted[0] = True
+    miss_sorted[1:] = (sorted_tags[1:] != sorted_tags[:-1]) | (
+        sorted_sets[1:] != sorted_sets[:-1]
+    )
+    misses = np.empty(n, dtype=bool)
+    misses[order] = miss_sorted
+    return misses
+
+
+def direct_mapped_miss_rate(addrs: np.ndarray, geometry: CacheGeometry) -> float:
+    """Exact overall miss rate for a direct-mapped cache."""
+    flags = direct_mapped_miss_flags(addrs, geometry)
+    return float(flags.mean()) if flags.size else 0.0
+
+
+def two_way_lru_miss_flags(addrs: np.ndarray, geometry: CacheGeometry) -> np.ndarray:
+    """Exact per-reference miss flags for a 2-way LRU cache.
+
+    Processes references grouped by set (order within a set is preserved by
+    the stable sort), tracking the two resident tags per set with a scalar
+    loop over each group.  Exact 2-way LRU: a reference hits iff its tag is
+    one of the set's two most recent distinct tags.
+    """
+    if geometry.ways != 2:
+        raise ValueError("two_way_lru_miss_flags requires a 2-way geometry")
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    sets = vector_set_index(addrs, geometry.line_bytes, geometry.num_sets)
+    tags = vector_tag(addrs, geometry.line_bytes, geometry.num_sets)
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_tags = tags[order]
+    boundaries = np.flatnonzero(np.diff(sorted_sets)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+    miss_sorted = np.empty(n, dtype=bool)
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        group = sorted_tags[start:end].tolist()
+        mru = lru = -1  # tags are non-negative
+        for offset, tag in enumerate(group):
+            if tag == mru:
+                miss_sorted[start + offset] = False
+            elif tag == lru:
+                miss_sorted[start + offset] = False
+                mru, lru = tag, mru
+            else:
+                miss_sorted[start + offset] = True
+                mru, lru = tag, mru
+    misses = np.empty(n, dtype=bool)
+    misses[order] = miss_sorted
+    return misses
+
+
+def set_assoc_miss_rate(addrs: np.ndarray, geometry: CacheGeometry) -> float:
+    """Exact miss rate for 1-way or 2-way geometries via the fast paths,
+    falling back to the reference simulator for other associativities."""
+    if geometry.ways == 1:
+        return direct_mapped_miss_rate(addrs, geometry)
+    if geometry.ways == 2:
+        flags = two_way_lru_miss_flags(addrs, geometry)
+        return float(flags.mean()) if flags.size else 0.0
+    from repro.caches.set_assoc import SetAssociativeCache
+
+    cache = SetAssociativeCache(geometry)
+    for addr in np.asarray(addrs, dtype=np.int64).tolist():
+        cache.access(addr)
+    return cache.stats.miss_rate

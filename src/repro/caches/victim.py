@@ -1,0 +1,81 @@
+"""The victim cache of Section 5.4.
+
+A 16-entry fully-associative LRU buffer of 32-byte blocks.  It differs from
+Jouppi's original victim cache in two ways the paper calls out:
+
+- On a column-buffer eviction it captures only the *most recently accessed*
+  32-byte sub-block of the 512-byte victim line (the copy is hidden in the
+  DRAM access window, and main-cache bandwidth limits it to one sub-block).
+- Because of the line-size disparity its contents are never reloaded into
+  the main cache; hits are served from the buffer directly.
+"""
+
+from __future__ import annotations
+
+from repro.common.address import line_address
+from repro.common.params import VictimCacheParams
+
+
+class VictimCache:
+    """Fully-associative LRU buffer of small blocks.
+
+    This is deliberately *not* a :class:`repro.caches.base.Cache`: it never
+    sees the full reference stream, only probes on main-cache misses and
+    inserts on main-cache evictions, so it keeps its own probe statistics.
+    """
+
+    def __init__(self, params: VictimCacheParams | None = None) -> None:
+        self.params = params or VictimCacheParams()
+        self._blocks: list[int] = []  # block addresses, MRU last
+        self.probes = 0
+        self.hits = 0
+        self.inserts = 0
+
+    @property
+    def line_bytes(self) -> int:
+        return self.params.line_bytes
+
+    def probe(self, addr: int) -> bool:
+        """Check for ``addr`` on a main-cache miss; promotes on hit."""
+        self.probes += 1
+        block = line_address(addr, self.line_bytes)
+        if block in self._blocks:
+            self.hits += 1
+            if self._blocks[-1] != block:
+                self._blocks.remove(block)
+                self._blocks.append(block)
+            return True
+        return False
+
+    def insert(self, addr: int) -> None:
+        """Capture the 32 B block containing ``addr`` (LRU replacement)."""
+        self.inserts += 1
+        block = line_address(addr, self.line_bytes)
+        if block in self._blocks:
+            self._blocks.remove(block)
+        elif len(self._blocks) >= self.params.entries:
+            self._blocks.pop(0)
+        self._blocks.append(block)
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating membership probe."""
+        return line_address(addr, self.line_bytes) in self._blocks
+
+    def invalidate(self, addr: int) -> None:
+        """Drop the block containing ``addr`` (coherence invalidation)."""
+        block = line_address(addr, self.line_bytes)
+        if block in self._blocks:
+            self._blocks.remove(block)
+
+    def resident_blocks(self) -> list[int]:
+        return list(self._blocks)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def reset(self) -> None:
+        self._blocks = []
+        self.probes = 0
+        self.hits = 0
+        self.inserts = 0

@@ -1,0 +1,20 @@
+"""Directory-based write-invalidate coherence and the Inter-Node Cache."""
+
+from repro.coherence.engines import EngineReport, engine_report
+from repro.coherence.inc import InterNodeCache
+from repro.coherence.protocol import (
+    BlockEntry,
+    BlockState,
+    Directory,
+    ProtocolStats,
+)
+
+__all__ = [
+    "BlockEntry",
+    "EngineReport",
+    "engine_report",
+    "BlockState",
+    "Directory",
+    "InterNodeCache",
+    "ProtocolStats",
+]

@@ -1,0 +1,155 @@
+"""Directory-based write-invalidate coherence (Sections 4.2, 6.1).
+
+Coherence is maintained on 32-byte blocks by a directory co-located with
+each block's home memory (stored in the spare ECC bits — the bit-level
+encoding is proved out in :mod:`repro.dram.directory`; here the protocol
+keeps full sharer sets for simulation).
+
+States follow MSI as seen from the home:
+
+- ``UNOWNED``: memory holds the only copy;
+- ``SHARED``: one or more nodes hold read-only copies;
+- ``EXCLUSIVE``: exactly one node holds a writable (possibly dirty) copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ProtocolError
+from repro.common.params import COHERENCE_UNIT_BYTES
+
+
+class BlockState(Enum):
+    UNOWNED = "unowned"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class BlockEntry:
+    state: BlockState = BlockState.UNOWNED
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+    def check(self) -> None:
+        """Protocol invariants (exercised heavily by the test suite)."""
+        if self.state is BlockState.UNOWNED and (self.sharers or self.owner is not None):
+            raise ProtocolError("UNOWNED block has copies")
+        if self.state is BlockState.SHARED and (not self.sharers or self.owner is not None):
+            raise ProtocolError("SHARED block inconsistent")
+        if self.state is BlockState.EXCLUSIVE and (
+            self.owner is None or self.sharers
+        ):
+            raise ProtocolError("EXCLUSIVE block inconsistent")
+
+
+@dataclass
+class ProtocolStats:
+    read_local: int = 0
+    read_remote: int = 0
+    write_local: int = 0
+    write_remote: int = 0
+    invalidations_sent: int = 0
+    recalls: int = 0
+    writebacks: int = 0
+
+
+class Directory:
+    """All directory entries, keyed by block address."""
+
+    def __init__(self, block_bytes: int = COHERENCE_UNIT_BYTES) -> None:
+        self.block_bytes = block_bytes
+        self._entries: dict[int, BlockEntry] = {}
+        self.stats = ProtocolStats()
+
+    def block_of(self, addr: int) -> int:
+        return addr - (addr % self.block_bytes)
+
+    def entry(self, addr: int) -> BlockEntry:
+        block = self.block_of(addr)
+        found = self._entries.get(block)
+        if found is None:
+            found = BlockEntry()
+            self._entries[block] = found
+        return found
+
+    def copies_to_invalidate(self, addr: int, requester: int) -> set[int]:
+        """Nodes (other than the requester) holding copies of ``addr``."""
+        entry = self.entry(addr)
+        if entry.state is BlockState.SHARED:
+            return entry.sharers - {requester}
+        if entry.state is BlockState.EXCLUSIVE and entry.owner != requester:
+            return {entry.owner}
+        return set()
+
+    # -- state transitions --------------------------------------------------
+    # Each returns the set of nodes whose cached copies must be dropped.
+
+    def record_read(self, addr: int, requester: int, home: int) -> set[int]:
+        """A read by ``requester`` reaches the home directory."""
+        entry = self.entry(addr)
+        entry.check()
+        demoted: set[int] = set()
+        if entry.state is BlockState.EXCLUSIVE and entry.owner != requester:
+            # Owner writes back; both keep shared copies (or home memory
+            # regains ownership if the reader is the home itself).
+            self.stats.recalls += 1
+            self.stats.writebacks += 1
+            previous_owner = entry.owner
+            entry.state = BlockState.SHARED
+            entry.sharers = {previous_owner}
+            entry.owner = None
+        if requester != home:
+            if entry.state is BlockState.EXCLUSIVE:
+                pass  # requester already owns it
+            else:
+                entry.sharers.add(requester)
+                entry.state = BlockState.SHARED
+        elif entry.state is BlockState.SHARED and not entry.sharers:
+            entry.state = BlockState.UNOWNED
+        entry.check()
+        return demoted
+
+    def record_write(self, addr: int, requester: int, home: int) -> set[int]:
+        """A write by ``requester``: invalidate every other copy."""
+        entry = self.entry(addr)
+        entry.check()
+        victims = self.copies_to_invalidate(addr, requester)
+        if victims:
+            self.stats.invalidations_sent += len(victims)
+            if entry.state is BlockState.EXCLUSIVE:
+                self.stats.writebacks += 1
+        if requester == home:
+            # Home writes its own memory: memory is the owner again.
+            entry.state = BlockState.UNOWNED
+            entry.sharers = set()
+            entry.owner = None
+        else:
+            entry.state = BlockState.EXCLUSIVE
+            entry.sharers = set()
+            entry.owner = requester
+        entry.check()
+        return victims
+
+    def record_eviction(self, addr: int, node: int) -> None:
+        """``node`` dropped its copy (cache replacement)."""
+        entry = self.entry(addr)
+        if entry.state is BlockState.EXCLUSIVE and entry.owner == node:
+            self.stats.writebacks += 1
+            entry.state = BlockState.UNOWNED
+            entry.owner = None
+        else:
+            entry.sharers.discard(node)
+            if entry.state is BlockState.SHARED and not entry.sharers:
+                entry.state = BlockState.UNOWNED
+        entry.check()
+
+    def is_remote_exclusive(self, addr: int, node: int) -> bool:
+        entry = self.entry(addr)
+        return entry.state is BlockState.EXCLUSIVE and entry.owner != node
+
+    def is_owner(self, addr: int, node: int) -> bool:
+        entry = self.entry(addr)
+        return entry.state is BlockState.EXCLUSIVE and entry.owner == node

@@ -1,0 +1,240 @@
+"""Configuration dataclasses for every modelled system.
+
+The numbers here come straight from the paper (Sections 4-6, Table 6); they
+are the single source of truth used by the cache, DRAM, GSPN and
+multiprocessor simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import KB, is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    ``associativity == 0`` denotes a fully-associative cache (one set).
+    """
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigError("cache size and line size must be positive")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigError(f"line size {self.line_bytes} must be a power of two")
+        if self.size_bytes % self.line_bytes:
+            raise ConfigError("cache size must be a multiple of the line size")
+        if self.associativity < 0:
+            raise ConfigError("associativity must be >= 0 (0 = fully associative)")
+        ways = self.ways
+        if self.num_lines % ways:
+            raise ConfigError("line count must be a multiple of associativity")
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError("number of sets must be a power of two")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def ways(self) -> int:
+        return self.num_lines if self.associativity == 0 else self.associativity
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing of the on-die DRAM array, in CPU cycles.
+
+    The paper assumes a 30 ns array access on a 200 MHz clock: 6 cycles
+    (Section 4.1, based on [17]).  Precharge keeps a bank busy after an
+    access before it can open another row.
+    """
+
+    access_cycles: int = 6
+    precharge_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.access_cycles < 1 or self.precharge_cycles < 0:
+            raise ConfigError("DRAM timing must be positive")
+
+
+@dataclass(frozen=True)
+class VictimCacheParams:
+    """The 16-entry fully associative victim cache of Section 5.4."""
+
+    entries: int = 16
+    line_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigError("victim cache needs at least one entry")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigError("victim line size must be a power of two")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.entries * self.line_bytes
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """The simple 5-stage single-issue core (Section 4.1).
+
+    ``scoreboard_depth`` is the average number of instructions that can
+    issue below an outstanding load before the pipeline stalls; the paper
+    sets the GSPN transition T23 rate to 1 for the integrated design and to
+    "infinity" (stall immediately, depth 0) for a design without
+    scoreboarding.
+    """
+
+    clock_mhz: float = 200.0
+    issue_width: int = 1
+    scoreboard_depth: float = 1.0
+    store_buffer_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.issue_width != 1:
+            raise ConfigError("only single-issue pipelines are modelled")
+        if self.scoreboard_depth < 0:
+            raise ConfigError("scoreboard depth must be >= 0")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+
+@dataclass(frozen=True)
+class IntegratedDeviceParams:
+    """The proposed integrated processor/memory device (Section 4).
+
+    16 DRAM banks each expose three 512-byte column buffers: one forms the
+    direct-mapped instruction cache (16 x 512 B = 8 KB) and two form the
+    2-way set-associative data cache (32 x 512 B = 16 KB).
+    """
+
+    num_banks: int = 16
+    column_bytes: int = 512
+    data_columns_per_bank: int = 2
+    instruction_columns_per_bank: int = 1
+    dram: DRAMTiming = field(default_factory=DRAMTiming)
+    victim: VictimCacheParams = field(default_factory=VictimCacheParams)
+    pipeline: PipelineParams = field(default_factory=PipelineParams)
+    datapath_bits: int = 64
+    serial_links: int = 4
+    serial_link_gbit: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.num_banks):
+            raise ConfigError("bank count must be a power of two")
+        if not is_power_of_two(self.column_bytes):
+            raise ConfigError("column size must be a power of two")
+        if self.data_columns_per_bank < 1 or self.instruction_columns_per_bank < 1:
+            raise ConfigError("each bank needs data and instruction columns")
+
+    @property
+    def icache_geometry(self) -> CacheGeometry:
+        """Direct-mapped column-buffer instruction cache (8 KB default)."""
+        size = self.num_banks * self.instruction_columns_per_bank * self.column_bytes
+        return CacheGeometry(size, self.column_bytes, self.instruction_columns_per_bank)
+
+    @property
+    def dcache_geometry(self) -> CacheGeometry:
+        """2-way column-buffer data cache (16 KB default)."""
+        size = self.num_banks * self.data_columns_per_bank * self.column_bytes
+        return CacheGeometry(size, self.column_bytes, self.data_columns_per_bank)
+
+    @property
+    def internal_bandwidth_gbytes(self) -> float:
+        """Per-datapath bandwidth: 64 bits at the core clock (1.6 GB/s)."""
+        return self.datapath_bits / 8 * self.pipeline.clock_mhz * 1e6 / 1e9
+
+    @property
+    def io_bandwidth_gbytes(self) -> float:
+        """Aggregate serial-link bandwidth (4 x 2.5 Gbit/s = 1.25 GB/s raw,
+        1.6 GB/s with the paper's peak accounting)."""
+        return self.serial_links * self.serial_link_gbit / 8 * 1.024
+
+
+@dataclass(frozen=True)
+class ConventionalSystemParams:
+    """The conventional reference CPU of Section 5.5.
+
+    A 200 MHz 5-stage core with 16 KB split first-level caches, a 256 KB
+    unified second level cache and a dual-banked main memory.
+    """
+
+    l1i: CacheGeometry = field(default_factory=lambda: CacheGeometry(16 * KB, 32, 1))
+    l1d: CacheGeometry = field(default_factory=lambda: CacheGeometry(16 * KB, 32, 1))
+    l2: CacheGeometry = field(default_factory=lambda: CacheGeometry(256 * KB, 32, 1))
+    l2_latency_cycles: int = 6
+    memory_latency_cycles: int = 24
+    memory_banks: int = 2
+    memory_precharge_cycles: int = 4
+    pipeline: PipelineParams = field(
+        default_factory=lambda: PipelineParams(scoreboard_depth=1.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.l2_latency_cycles < 1 or self.memory_latency_cycles < 1:
+            raise ConfigError("latencies must be positive")
+        if self.memory_banks < 1:
+            raise ConfigError("need at least one memory bank")
+
+
+@dataclass(frozen=True)
+class MPLatencies:
+    """Table 6: memory latencies in processor cycles for the MP study."""
+
+    cache_hit: int = 1
+    victim_hit: int = 1
+    local_memory: int = 6
+    inc_tag_check: int = 1
+    invalidation_round_trip: int = 80
+    remote_load: int = 80
+    flc_hit: int = 1
+    slc_hit: int = 6
+    scoma_page_fault: int = 300
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cache_hit",
+            "victim_hit",
+            "local_memory",
+            "invalidation_round_trip",
+            "remote_load",
+            "flc_hit",
+            "slc_hit",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1 cycle")
+        if self.inc_tag_check < 0:
+            raise ConfigError("inc_tag_check must be >= 0")
+
+    @property
+    def inc_access(self) -> int:
+        """INC access: local memory plus the tag-check penalty (Section 4.2)."""
+        return self.local_memory + self.inc_tag_check
+
+
+COHERENCE_UNIT_BYTES = 32
+"""Coherence granularity: 32-byte blocks throughout the MP study."""
+
+INC_WAYS = 7
+"""Inter-Node Cache associativity: seven 32 B lines per 512 B column, the
+eighth block holds the tags (Figure 6)."""
+
+DIRECTORY_BITS_PER_BLOCK = 14
+"""Directory bits recovered by widening ECC words from 64 to 128 bits."""

@@ -1,0 +1,42 @@
+"""Unit constants and conversions.
+
+All sizes are bytes, all times are seconds unless a function name says
+otherwise.  Frequencies are hertz.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+MHZ = 1e6
+GHZ = 1e9
+
+
+def cycles_for_time(seconds: float, clock_hz: float) -> int:
+    """Round a wall-clock duration up to whole clock cycles."""
+    cycles = seconds * clock_hz
+    whole = int(cycles)
+    if cycles > whole:
+        whole += 1
+    return whole
+
+
+def time_for_cycles(cycles: int, clock_hz: float) -> float:
+    """Duration in seconds of ``cycles`` ticks of a ``clock_hz`` clock."""
+    return cycles / clock_hz
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ``ValueError`` for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,81 @@
+"""A single DRAM bank with column buffers and timing.
+
+Each bank (Section 4.1, Figure 3) can move one 4 Kbit column between the
+sense-amplifier array and its three 512-byte column buffers per access.
+An access occupies the bank for ``access_cycles`` (30 ns = 6 cycles at
+200 MHz) and is followed by a precharge window during which the bank
+cannot start a new transaction (the GSPN transition T2 of Figure 9).
+
+The bank model is a timing resource: callers ask for an array access at a
+given cycle and learn when the data is available and when the bank frees
+up.  Column-buffer *contents* are tracked by the cache models; here we
+track which rows the buffers currently hold so speculative writebacks and
+utilization statistics can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.params import DRAMTiming
+
+
+@dataclass
+class BankAccessResult:
+    """Outcome of one array access request."""
+
+    start_cycle: int  # when the access actually began (after queueing)
+    data_ready_cycle: int  # when the column is in the buffer
+    bank_free_cycle: int  # when the bank can accept the next access
+    queued_cycles: int  # how long the request waited for the bank
+
+
+@dataclass
+class DRAMBank:
+    """Timing model of one bank.
+
+    ``busy_until`` is the first cycle at which a new access may start.
+    ``busy_cycles`` accumulates occupied time for utilization reporting
+    (the paper quotes gcc keeping each of 16 banks busy 1.2 % of cycles).
+    """
+
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    busy_until: int = 0
+    busy_cycles: int = 0
+    accesses: int = 0
+    open_rows: dict[int, int] = field(default_factory=dict)  # buffer slot -> row
+
+    def access(self, cycle: int, row: int, buffer_slot: int = 0) -> BankAccessResult:
+        """Fetch ``row`` into ``buffer_slot`` starting no earlier than ``cycle``."""
+        if cycle < 0:
+            raise SimulationError("access cycle must be non-negative")
+        start = max(cycle, self.busy_until)
+        ready = start + self.timing.access_cycles
+        free = ready + self.timing.precharge_cycles
+        self.busy_until = free
+        self.busy_cycles += free - start
+        self.accesses += 1
+        self.open_rows[buffer_slot] = row
+        return BankAccessResult(
+            start_cycle=start,
+            data_ready_cycle=ready,
+            bank_free_cycle=free,
+            queued_cycles=start - cycle,
+        )
+
+    def row_in_buffer(self, row: int) -> bool:
+        """True when some column buffer currently holds ``row``."""
+        return row in self.open_rows.values()
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` during which the bank was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def reset(self) -> None:
+        self.busy_until = 0
+        self.busy_cycles = 0
+        self.accesses = 0
+        self.open_rows.clear()

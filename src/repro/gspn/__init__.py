@@ -1,0 +1,30 @@
+"""Generalized Stochastic Petri Nets: engine, evaluator and paper models."""
+
+from repro.gspn.analytic import MD1Prediction, bank_contention_estimate, membank_prediction
+from repro.gspn.models import (
+    ISSUE_TRANSITION,
+    MemoryPathProbs,
+    ProcessorNetParams,
+    bank_ready_place,
+    build_membank_net,
+    build_processor_net,
+)
+from repro.gspn.net import PetriNet, Transition, TransitionKind
+from repro.gspn.sim import GSPNSimulator, SimResult
+
+__all__ = [
+    "GSPNSimulator",
+    "MD1Prediction",
+    "bank_contention_estimate",
+    "membank_prediction",
+    "ISSUE_TRANSITION",
+    "MemoryPathProbs",
+    "PetriNet",
+    "ProcessorNetParams",
+    "SimResult",
+    "Transition",
+    "TransitionKind",
+    "bank_ready_place",
+    "build_membank_net",
+    "build_processor_net",
+]

@@ -1,0 +1,350 @@
+"""The paper's GSPN models: the memory bank (Figure 9) and the
+processor/cache pipeline (Figure 10).
+
+Both nets are built programmatically on :class:`repro.gspn.net.PetriNet`.
+The processor model covers the two configurations of Section 5.5 with one
+builder:
+
+- the **integrated** system: no second-level cache, 16 on-die DRAM banks
+  at 6-cycle access, scoreboarding enabled (T23 rate 1);
+- the **conventional reference** system: the grey components of Figure 10
+  — a unified second-level cache behind split L1s with a shared port
+  (place P6), a dual-banked main memory, configurable scoreboarding.
+
+Cache hit probabilities are *dialed in* from the trace-driven simulations
+exactly as the paper describes: the immediate transitions that route a
+fetch/load/store to the cache, the L2 or memory carry the measured
+probabilities as weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.gspn.net import PetriNet
+
+ISSUE_TRANSITION = "T_issue"
+"""Firing this transition retires one instruction (the paper's T1)."""
+
+
+@dataclass(frozen=True)
+class MemoryPathProbs:
+    """Where an access is served: cache hit, L2 hit, or main memory."""
+
+    hit: float
+    l2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit <= 1.0 or not 0.0 <= self.l2 <= 1.0:
+            raise ConfigError("probabilities must be in [0, 1]")
+        if self.hit + self.l2 > 1.0 + 1e-12:
+            raise ConfigError("hit + l2 probability exceeds 1")
+
+    @property
+    def mem(self) -> float:
+        return max(0.0, 1.0 - self.hit - self.l2)
+
+
+@dataclass(frozen=True)
+class ProcessorNetParams:
+    """Everything the Figure 10 net needs.
+
+    ``has_l2`` selects the conventional reference configuration (the grey
+    components); ``scoreboard_rate=None`` models a pipeline without
+    scoreboarding, which stalls the instant a load misses (the paper sets
+    T23's rate "to infinity").
+    """
+
+    p_load: float = 0.25
+    p_store: float = 0.10
+    ifetch: MemoryPathProbs = field(default_factory=lambda: MemoryPathProbs(0.99))
+    load: MemoryPathProbs = field(default_factory=lambda: MemoryPathProbs(0.95))
+    store: MemoryPathProbs = field(default_factory=lambda: MemoryPathProbs(0.95))
+    hit_latency: float = 1.0
+    l2_latency: float = 6.0
+    mem_access: float = 6.0
+    precharge: float = 4.0
+    num_banks: int = 16
+    has_l2: bool = False
+    scoreboard_rate: float | None = 1.0
+
+    def __post_init__(self) -> None:
+        if self.p_load < 0 or self.p_store < 0 or self.p_load + self.p_store > 1:
+            raise ConfigError("instruction mix probabilities are inconsistent")
+        if not self.has_l2 and (self.ifetch.l2 or self.load.l2 or self.store.l2):
+            raise ConfigError("L2 hit probability given but has_l2 is False")
+        if self.num_banks < 1:
+            raise ConfigError("need at least one memory bank")
+        if min(self.hit_latency, self.l2_latency, self.mem_access) <= 0:
+            raise ConfigError("latencies must be positive")
+        if self.scoreboard_rate is not None and self.scoreboard_rate <= 0:
+            raise ConfigError("scoreboard rate must be positive or None")
+
+
+def bank_ready_place(bank: int) -> str:
+    return f"bank{bank}_ready"
+
+
+def _add_bank_array(
+    net: PetriNet,
+    params: ProcessorNetParams,
+    request_kinds: list[tuple[str, str]],
+) -> None:
+    """The Figure 9 subnet, replicated per bank.
+
+    ``request_kinds`` pairs a routing place (requests of one kind awaiting
+    a bank) with the place that receives the completed data.  Each bank
+    owns a ready token; an access holds it for ``mem_access`` cycles and a
+    precharge transition returns it ``precharge`` cycles later, exactly
+    the T1/T3 + T2 structure of Figure 9.
+    """
+    for bank in range(params.num_banks):
+        ready = net.place(bank_ready_place(bank), tokens=1)
+        pre = net.place(f"bank{bank}_precharge")
+        net.deterministic(
+            f"T_bank{bank}_precharge", {pre: 1}, {ready: 1}, delay=params.precharge
+        )
+        for kind, done_place in request_kinds:
+            req = net.place(f"bank{bank}_{kind}_req")
+            net.immediate(
+                f"T_route_{kind}_bank{bank}",
+                {f"{kind}_memreq": 1},
+                {req: 1},
+                weight=1.0,
+            )
+            net.deterministic(
+                f"T_bank{bank}_{kind}_access",
+                {req: 1, ready: 1},
+                {done_place: 1, pre: 1},
+                delay=params.mem_access,
+            )
+
+
+def build_processor_net(params: ProcessorNetParams) -> PetriNet:
+    """The Figure 10 processor/cache GSPN."""
+    net = PetriNet("processor")
+
+    # Pipeline core.
+    can_issue = net.place("can_issue", tokens=1)
+    inst = net.place("inst", tokens=1)
+    fetch = net.place("fetch")
+    route = net.place("route")
+    is_load = net.place("is_load")
+    is_store = net.place("is_store")
+    lsu = net.place("lsu", tokens=1)
+
+    # T1: one instruction issues per cycle; a memory op waiting for the
+    # load/store unit blocks the next issue (the P10 token of the paper).
+    net.deterministic(
+        ISSUE_TRANSITION,
+        {inst: 1, can_issue: 1},
+        {can_issue: 1, route: 1, fetch: 1},
+        delay=1.0,
+        inhibitors={is_load: 1, is_store: 1},
+    )
+
+    # Instruction classification (T7/T8/T9 rates = instruction mix).
+    p_other = 1.0 - params.p_load - params.p_store
+    if p_other > 0:
+        net.immediate("T_class_other", {route: 1}, {}, weight=p_other)
+    if params.p_load > 0:
+        net.immediate("T_class_load", {route: 1}, {is_load: 1}, weight=params.p_load)
+    if params.p_store > 0:
+        net.immediate(
+            "T_class_store", {route: 1}, {is_store: 1}, weight=params.p_store
+        )
+
+    # Completion and memory-request places shared with the bank array.
+    i_memreq = net.place("i_memreq")
+    l_memreq = net.place("l_memreq")
+    s_memreq = net.place("s_memreq")
+    l_done = net.place("l_done")
+    s_done = net.place("s_done")
+    load_out = net.place("load_out")
+    stalled = net.place("stalled")
+
+    # Optional second-level cache port (the paper's P6 mutex between data
+    # and instruction accesses at the shared unified L2).
+    if params.has_l2:
+        net.place("l2_port", tokens=1)
+
+    # Instruction fetch path.
+    net.immediate("T_ifetch_hit", {fetch: 1}, {inst: 1}, weight=max(params.ifetch.hit, 1e-12))
+    if params.has_l2:
+        if params.ifetch.l2 > 0:
+            queue = net.place("i_l2q")
+            net.immediate("T_ifetch_l2", {fetch: 1}, {queue: 1}, weight=params.ifetch.l2)
+            net.deterministic(
+                "T_i_l2_access",
+                {queue: 1, "l2_port": 1},
+                {inst: 1, "l2_port": 1},
+                delay=params.l2_latency,
+            )
+        if params.ifetch.mem > 0:
+            lookup = net.place("i_l2_lookup")
+            net.immediate("T_ifetch_mem", {fetch: 1}, {lookup: 1}, weight=params.ifetch.mem)
+            net.deterministic(
+                "T_i_l2_miss",
+                {lookup: 1, "l2_port": 1},
+                {i_memreq: 1, "l2_port": 1},
+                delay=params.l2_latency,
+            )
+    elif params.ifetch.mem > 0:
+        net.immediate("T_ifetch_mem", {fetch: 1}, {i_memreq: 1}, weight=params.ifetch.mem)
+    i_filled = net.place("i_filled")
+    net.immediate("T_ifill", {i_filled: 1}, {inst: 1}, weight=1.0)
+
+    # Load path.  Hits complete within the pipeline and never raise the
+    # "incomplete load" flag; L2/memory loads mark load_out so the
+    # scoreboard transition T23 can stall the pipeline.
+    if params.p_load > 0:
+        hit_busy = net.place("load_hit_busy")
+        net.immediate(
+            "T_load_hit",
+            {is_load: 1, lsu: 1},
+            {hit_busy: 1},
+            weight=max(params.load.hit, 1e-12),
+        )
+        hit_done = net.place("load_hit_done")
+        net.deterministic(
+            "T_load_hit_access", {hit_busy: 1}, {hit_done: 1}, delay=params.hit_latency
+        )
+        net.immediate("T_load_hit_complete", {hit_done: 1}, {lsu: 1}, priority=1)
+        if params.has_l2 and params.load.l2 > 0:
+            queue = net.place("l_l2q")
+            net.immediate(
+                "T_load_l2", {is_load: 1, lsu: 1}, {queue: 1, load_out: 1},
+                weight=params.load.l2,
+            )
+            net.deterministic(
+                "T_l_l2_access",
+                {queue: 1, "l2_port": 1},
+                {l_done: 1, "l2_port": 1},
+                delay=params.l2_latency,
+            )
+        if params.load.mem > 0:
+            if params.has_l2:
+                lookup = net.place("l_l2_lookup")
+                net.immediate(
+                    "T_load_mem", {is_load: 1, lsu: 1}, {lookup: 1, load_out: 1},
+                    weight=params.load.mem,
+                )
+                net.deterministic(
+                    "T_l_l2_miss",
+                    {lookup: 1, "l2_port": 1},
+                    {l_memreq: 1, "l2_port": 1},
+                    delay=params.l2_latency,
+                )
+            else:
+                net.immediate(
+                    "T_load_mem", {is_load: 1, lsu: 1}, {l_memreq: 1, load_out: 1},
+                    weight=params.load.mem,
+                )
+        # Completion: prefer waking a stalled pipeline (higher priority).
+        net.immediate(
+            "T_load_complete_stalled",
+            {l_done: 1, load_out: 1, stalled: 1},
+            {lsu: 1, can_issue: 1},
+            priority=2,
+        )
+        net.immediate(
+            "T_load_complete", {l_done: 1, load_out: 1}, {lsu: 1}, priority=1
+        )
+        # T23: the scoreboard allows on average 1/rate instructions below
+        # an incomplete load before the pipeline freezes.
+        if params.scoreboard_rate is None:
+            net.immediate(
+                "T23_stall", {load_out: 1, can_issue: 1},
+                {load_out: 1, stalled: 1},
+                priority=3,
+            )
+        else:
+            net.exponential(
+                "T23_stall",
+                {load_out: 1, can_issue: 1},
+                {load_out: 1, stalled: 1},
+                rate=params.scoreboard_rate,
+            )
+
+    # Store path: the store buffer hides completion from the pipeline;
+    # only the load/store unit is held (Figure 10's P9/P10 discussion).
+    if params.p_store > 0:
+        hit_busy = net.place("store_hit_busy")
+        net.immediate(
+            "T_store_hit",
+            {is_store: 1, lsu: 1},
+            {hit_busy: 1},
+            weight=max(params.store.hit, 1e-12),
+        )
+        net.deterministic(
+            "T_store_hit_access", {hit_busy: 1}, {s_done: 1}, delay=params.hit_latency
+        )
+        if params.has_l2 and params.store.l2 > 0:
+            queue = net.place("s_l2q")
+            net.immediate(
+                "T_store_l2", {is_store: 1, lsu: 1}, {queue: 1}, weight=params.store.l2
+            )
+            net.deterministic(
+                "T_s_l2_access",
+                {queue: 1, "l2_port": 1},
+                {s_done: 1, "l2_port": 1},
+                delay=params.l2_latency,
+            )
+        if params.store.mem > 0:
+            if params.has_l2:
+                lookup = net.place("s_l2_lookup")
+                net.immediate(
+                    "T_store_mem", {is_store: 1, lsu: 1}, {lookup: 1},
+                    weight=params.store.mem,
+                )
+                net.deterministic(
+                    "T_s_l2_miss",
+                    {lookup: 1, "l2_port": 1},
+                    {s_memreq: 1, "l2_port": 1},
+                    delay=params.l2_latency,
+                )
+            else:
+                net.immediate(
+                    "T_store_mem", {is_store: 1, lsu: 1}, {s_memreq: 1},
+                    weight=params.store.mem,
+                )
+        net.immediate("T_store_complete", {s_done: 1}, {lsu: 1}, priority=1)
+
+    # The Figure 9 bank array serves all three request kinds.
+    _add_bank_array(
+        net,
+        params,
+        [("i", i_filled), ("l", l_done), ("s", s_done)],
+    )
+    return net
+
+
+def build_membank_net(
+    access: float = 6.0,
+    precharge: float = 4.0,
+    ifetch_rate: float = 0.05,
+    data_rate: float = 0.05,
+) -> PetriNet:
+    """The standalone Figure 9 net with Poisson request sources.
+
+    Instruction and data misses arrive at exponential rates (per cycle);
+    the bank serves one at a time (T1/T3) and precharges (T2).  Used to
+    study single-bank utilization and queueing in isolation.
+    """
+    net = PetriNet("membank")
+    src = net.place("src", tokens=1)
+    p1 = net.place("P1_ifetch")  # waiting instruction misses
+    p2 = net.place("P2_data")  # waiting data misses
+    ready = net.place("ready", tokens=1)
+    pre = net.place("precharge")
+    served_i = net.place("served_i")
+    served_d = net.place("served_d")
+    net.exponential("T_gen_i", {src: 1}, {src: 1, p1: 1}, rate=ifetch_rate)
+    net.exponential("T_gen_d", {src: 1}, {src: 1, p2: 1}, rate=data_rate)
+    net.deterministic("T1_iaccess", {p1: 1, ready: 1}, {served_i: 1, pre: 1}, delay=access)
+    net.deterministic("T3_daccess", {p2: 1, ready: 1}, {served_d: 1, pre: 1}, delay=access)
+    net.deterministic("T2_precharge", {pre: 1}, {ready: 1}, delay=precharge)
+    net.immediate("T_sink_i", {served_i: 1}, {}, weight=1.0)
+    net.immediate("T_sink_d", {served_d: 1}, {}, weight=1.0)
+    return net

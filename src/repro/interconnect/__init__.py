@@ -1,0 +1,5 @@
+"""Serial-link interconnect fabric model."""
+
+from repro.interconnect.fabric import Fabric, FabricStats, MessageType
+
+__all__ = ["Fabric", "FabricStats", "MessageType"]

@@ -1,0 +1,42 @@
+"""Mini-RISC ISA: assembler, functional CPU, pipeline timing, kernels."""
+
+from repro.isa.assembler import Assembler, Program
+from repro.isa.cpu import CPU, ExecutionResult
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.pipeline import (
+    CacheMemoryModel,
+    FlatMemory,
+    PipelineTimer,
+    TimingResult,
+)
+from repro.isa.programs import (
+    KERNELS,
+    binary_search,
+    saxpy,
+    fill_array,
+    list_traversal,
+    matmul,
+    stride_walk,
+    vector_sum,
+)
+
+__all__ = [
+    "Assembler",
+    "CPU",
+    "CacheMemoryModel",
+    "ExecutionResult",
+    "FlatMemory",
+    "Instruction",
+    "KERNELS",
+    "Opcode",
+    "PipelineTimer",
+    "Program",
+    "TimingResult",
+    "binary_search",
+    "fill_array",
+    "saxpy",
+    "list_traversal",
+    "matmul",
+    "stride_walk",
+    "vector_sum",
+]

@@ -1,0 +1,256 @@
+"""Two-pass assembler for the mini-RISC ISA.
+
+Syntax (one statement per line, ``#`` comments)::
+
+    .text                    # switch to code section (default)
+    .data                    # switch to data section
+    .org 0x1000              # set current section origin
+    label:                   # define a label
+    .word 1, 2, 3            # emit data words
+    .space 64                # reserve 64 bytes (zeroed)
+    add  r3, r1, r2
+    addi r3, r1, -4
+    ld   r5, 8(r2)
+    st   r5, 0(r2)
+    beq  r1, r2, loop        # branch to label
+    jal  r31, func           # call
+    la   r4, buffer          # pseudo: load a label's address
+    li   r4, 123456          # pseudo: load a 32-bit constant
+    mv   r4, r5              # pseudo: addi r4, r5, 0
+    j    loop                # pseudo: jal r0, loop
+    ret                      # pseudo: jalr r0, r31, 0
+    halt
+
+Pass 1 sizes statements and collects labels; pass 2 emits instructions
+and initialized memory.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    WORD_BYTES,
+    Instruction,
+    Opcode,
+)
+
+_REGISTER = re.compile(r"^r(\d{1,2})$")
+_MEMREF = re.compile(r"^(-?\w+)\((r\d{1,2})\)$")
+
+DEFAULT_TEXT_ORG = 0x1_0000
+DEFAULT_DATA_ORG = 0x10_0000
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions by address plus data image."""
+
+    instructions: dict[int, Instruction] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)  # word addr -> value
+    labels: dict[str, int] = field(default_factory=dict)
+    entry: int = DEFAULT_TEXT_ORG
+
+    @property
+    def text_size(self) -> int:
+        return len(self.instructions) * WORD_BYTES
+
+    def listing(self) -> str:
+        """Human-readable disassembly with addresses and label markers."""
+        by_addr = {addr: name for name, addr in self.labels.items()}
+        lines = []
+        for addr in sorted(self.instructions):
+            label = by_addr.get(addr)
+            if label:
+                lines.append(f"{label}:")
+            lines.append(
+                f"  {addr:#08x}  {self.instructions[addr].disassemble()}"
+            )
+        return "\n".join(lines)
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    match = _REGISTER.match(token)
+    if not match or int(match.group(1)) > 31:
+        raise AssemblyError(f"line {line_no}: bad register {token!r}")
+    return int(match.group(1))
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def assemble(self, source: str) -> Program:
+        statements = self._tokenize(source)
+        labels = self._collect_labels(statements)
+        return self._emit(statements, labels)
+
+    # -- pass 0: tokenize ---------------------------------------------------
+
+    def _tokenize(self, source: str) -> list[tuple[int, str, list[str]]]:
+        """Yield (line_no, mnemonic_or_directive, operands)."""
+        statements = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            while line:
+                label_match = re.match(r"^(\w+):\s*", line)
+                if label_match:
+                    statements.append((line_no, "label", [label_match.group(1)]))
+                    line = line[label_match.end():]
+                    continue
+                parts = line.split(None, 1)
+                mnemonic = parts[0].lower()
+                operands = []
+                if len(parts) > 1:
+                    operands = [tok.strip() for tok in parts[1].split(",")]
+                statements.append((line_no, mnemonic, operands))
+                line = ""
+        return statements
+
+    # -- pass 1: label addresses --------------------------------------------
+
+    def _statement_size(self, mnemonic: str, operands: list[str], line_no: int) -> int:
+        if mnemonic == ".word":
+            return WORD_BYTES * len(operands)
+        if mnemonic == ".space":
+            return self._parse_int(operands[0], line_no)
+        if mnemonic == "li":
+            return 2 * WORD_BYTES  # lui + ori
+        if mnemonic == "la":
+            return 2 * WORD_BYTES
+        return WORD_BYTES
+
+    def _collect_labels(self, statements) -> dict[str, int]:
+        labels: dict[str, int] = {}
+        section = "text"
+        cursors = {"text": DEFAULT_TEXT_ORG, "data": DEFAULT_DATA_ORG}
+        for line_no, mnemonic, operands in statements:
+            if mnemonic == "label":
+                name = operands[0]
+                if name in labels:
+                    raise AssemblyError(f"line {line_no}: duplicate label {name}")
+                labels[name] = cursors[section]
+            elif mnemonic == ".text":
+                section = "text"
+            elif mnemonic == ".data":
+                section = "data"
+            elif mnemonic == ".org":
+                cursors[section] = self._parse_int(operands[0], line_no)
+            else:
+                cursors[section] += self._statement_size(mnemonic, operands, line_no)
+        return labels
+
+    # -- pass 2: emission ---------------------------------------------------
+
+    def _parse_int(self, token: str, line_no: int) -> int:
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(f"line {line_no}: bad integer {token!r}") from None
+
+    def _value(self, token: str, labels: dict[str, int], line_no: int) -> int:
+        if token in labels:
+            return labels[token]
+        return self._parse_int(token, line_no)
+
+    def _emit(self, statements, labels: dict[str, int]) -> Program:
+        program = Program(labels=dict(labels))
+        section = "text"
+        cursors = {"text": DEFAULT_TEXT_ORG, "data": DEFAULT_DATA_ORG}
+        saw_text = False
+
+        def put(instr: Instruction) -> None:
+            program.instructions[cursors["text"]] = instr
+            cursors["text"] += WORD_BYTES
+
+        for line_no, mnemonic, operands in statements:
+            if mnemonic == "label":
+                continue
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            if mnemonic == ".org":
+                cursors[section] = self._parse_int(operands[0], line_no)
+                continue
+            if mnemonic == ".word":
+                for token in operands:
+                    value = self._value(token, labels, line_no)
+                    program.memory[cursors["data"]] = value & 0xFFFF_FFFF
+                    cursors["data"] += WORD_BYTES
+                continue
+            if mnemonic == ".space":
+                cursors["data"] += self._parse_int(operands[0], line_no)
+                continue
+            if section != "text":
+                raise AssemblyError(f"line {line_no}: code in .data section")
+            if not saw_text:
+                program.entry = cursors["text"]
+                saw_text = True
+            self._emit_instruction(mnemonic, operands, labels, line_no, put,
+                                   cursors)
+        return program
+
+    def _emit_instruction(self, mnemonic, operands, labels, line_no, put, cursors):
+        reg = lambda i: _parse_register(operands[i], line_no)  # noqa: E731
+        val = lambda i: self._value(operands[i], labels, line_no)  # noqa: E731
+
+        # Pseudo-instructions first.
+        if mnemonic == "li" or mnemonic == "la":
+            rd = reg(0)
+            value = val(1) & 0xFFFF_FFFF
+            put(Instruction(Opcode.LUI, rd=rd, imm=value >> 16))
+            put(Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=value & 0xFFFF))
+            return
+        if mnemonic == "mv":
+            put(Instruction(Opcode.ADDI, rd=reg(0), rs1=reg(1), imm=0))
+            return
+        if mnemonic == "j":
+            put(Instruction(Opcode.JAL, rd=0, imm=val(0)))
+            return
+        if mnemonic == "ret":
+            put(Instruction(Opcode.JALR, rd=0, rs1=31, imm=0))
+            return
+
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError:
+            raise AssemblyError(
+                f"line {line_no}: unknown mnemonic {mnemonic!r}"
+            ) from None
+
+        if opcode in REG_REG_OPS:
+            put(Instruction(opcode, rd=reg(0), rs1=reg(1), rs2=reg(2)))
+        elif opcode in REG_IMM_OPS:
+            put(Instruction(opcode, rd=reg(0), rs1=reg(1), imm=val(2)))
+        elif opcode is Opcode.LUI:
+            put(Instruction(opcode, rd=reg(0), imm=val(1)))
+        elif opcode in (Opcode.LD, Opcode.ST):
+            data_reg = reg(0)
+            match = _MEMREF.match(operands[1].replace(" ", ""))
+            if not match:
+                raise AssemblyError(f"line {line_no}: bad memory operand")
+            offset = self._value(match.group(1), labels, line_no)
+            base = _parse_register(match.group(2), line_no)
+            if opcode is Opcode.LD:
+                put(Instruction(opcode, rd=data_reg, rs1=base, imm=offset))
+            else:
+                put(Instruction(opcode, rs2=data_reg, rs1=base, imm=offset))
+        elif opcode in BRANCH_OPS:
+            target = val(2)
+            offset = target - cursors["text"]
+            put(Instruction(opcode, rs1=reg(0), rs2=reg(1), imm=offset))
+        elif opcode is Opcode.JAL:
+            put(Instruction(opcode, rd=reg(0), imm=val(1)))
+        elif opcode is Opcode.JALR:
+            put(Instruction(opcode, rd=reg(0), rs1=reg(1), imm=val(2)))
+        elif opcode in (Opcode.HALT, Opcode.NOP):
+            put(Instruction(opcode))
+        else:  # pragma: no cover - every opcode is handled above
+            raise AssemblyError(f"line {line_no}: unhandled opcode {opcode}")

@@ -1,0 +1,176 @@
+"""Functional simulator for the mini-RISC ISA.
+
+Executes an assembled :class:`~repro.isa.assembler.Program`, producing the
+architectural result *and* the instruction-fetch / data-reference traces
+that feed the cache simulators — the same role SHADE played for the
+paper's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.isa.assembler import Program
+from repro.isa.instructions import WORD_BYTES, Instruction, Opcode
+from repro.trace.stream import ReferenceTrace
+
+_MASK32 = 0xFFFF_FFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+@dataclass
+class ExecutionResult:
+    """Architectural outcome plus the reference traces."""
+
+    instructions_executed: int
+    registers: list[int]
+    memory: dict[int, int]
+    instruction_trace: ReferenceTrace
+    data_trace: ReferenceTrace
+    executed: list[Instruction] = field(default_factory=list)
+
+    def load_word(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+
+class CPU:
+    """Single-cycle functional interpreter with trace collection."""
+
+    def __init__(self, program: Program, max_instructions: int = 10_000_000,
+                 keep_instruction_objects: bool = False) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.keep_instruction_objects = keep_instruction_objects
+
+    def run(self) -> ExecutionResult:
+        program = self.program
+        regs = [0] * 32
+        memory = dict(program.memory)
+        pc = program.entry
+        ifetch: list[int] = []
+        data_addrs: list[int] = []
+        data_writes: list[bool] = []
+        executed: list[Instruction] = []
+        count = 0
+
+        while True:
+            if count >= self.max_instructions:
+                raise SimulationError(
+                    f"instruction budget exceeded ({self.max_instructions})"
+                )
+            instr = program.instructions.get(pc)
+            if instr is None:
+                raise SimulationError(f"no instruction at pc={pc:#x}")
+            ifetch.append(pc)
+            if self.keep_instruction_objects:
+                executed.append(instr)
+            count += 1
+            next_pc = pc + WORD_BYTES
+            op = instr.opcode
+
+            if op is Opcode.HALT:
+                break
+            elif op is Opcode.NOP:
+                pass
+            elif op is Opcode.ADD:
+                regs[instr.rd] = (regs[instr.rs1] + regs[instr.rs2]) & _MASK32
+            elif op is Opcode.SUB:
+                regs[instr.rd] = (regs[instr.rs1] - regs[instr.rs2]) & _MASK32
+            elif op is Opcode.MUL:
+                regs[instr.rd] = (
+                    _signed(regs[instr.rs1]) * _signed(regs[instr.rs2])
+                ) & _MASK32
+            elif op is Opcode.DIV:
+                divisor = _signed(regs[instr.rs2])
+                if divisor == 0:
+                    raise SimulationError(f"division by zero at pc={pc:#x}")
+                regs[instr.rd] = int(
+                    _signed(regs[instr.rs1]) / divisor
+                ) & _MASK32
+            elif op is Opcode.AND:
+                regs[instr.rd] = regs[instr.rs1] & regs[instr.rs2]
+            elif op is Opcode.OR:
+                regs[instr.rd] = regs[instr.rs1] | regs[instr.rs2]
+            elif op is Opcode.XOR:
+                regs[instr.rd] = regs[instr.rs1] ^ regs[instr.rs2]
+            elif op is Opcode.SLT:
+                regs[instr.rd] = int(
+                    _signed(regs[instr.rs1]) < _signed(regs[instr.rs2])
+                )
+            elif op is Opcode.SLL:
+                regs[instr.rd] = (regs[instr.rs1] << (regs[instr.rs2] & 31)) & _MASK32
+            elif op is Opcode.SRL:
+                regs[instr.rd] = (regs[instr.rs1] & _MASK32) >> (regs[instr.rs2] & 31)
+            elif op is Opcode.ADDI:
+                regs[instr.rd] = (regs[instr.rs1] + instr.imm) & _MASK32
+            elif op is Opcode.ANDI:
+                regs[instr.rd] = regs[instr.rs1] & (instr.imm & _MASK32)
+            elif op is Opcode.ORI:
+                regs[instr.rd] = regs[instr.rs1] | (instr.imm & _MASK32)
+            elif op is Opcode.SLTI:
+                regs[instr.rd] = int(_signed(regs[instr.rs1]) < instr.imm)
+            elif op is Opcode.SLLI:
+                regs[instr.rd] = (regs[instr.rs1] << (instr.imm & 31)) & _MASK32
+            elif op is Opcode.SRLI:
+                regs[instr.rd] = (regs[instr.rs1] & _MASK32) >> (instr.imm & 31)
+            elif op is Opcode.LUI:
+                regs[instr.rd] = (instr.imm << 16) & _MASK32
+            elif op is Opcode.LD:
+                addr = (regs[instr.rs1] + instr.imm) & _MASK32
+                self._check_alignment(addr, pc)
+                data_addrs.append(addr)
+                data_writes.append(False)
+                regs[instr.rd] = memory.get(addr, 0)
+            elif op is Opcode.ST:
+                addr = (regs[instr.rs1] + instr.imm) & _MASK32
+                self._check_alignment(addr, pc)
+                data_addrs.append(addr)
+                data_writes.append(True)
+                memory[addr] = regs[instr.rs2] & _MASK32
+            elif op is Opcode.BEQ:
+                if regs[instr.rs1] == regs[instr.rs2]:
+                    next_pc = pc + instr.imm
+            elif op is Opcode.BNE:
+                if regs[instr.rs1] != regs[instr.rs2]:
+                    next_pc = pc + instr.imm
+            elif op is Opcode.BLT:
+                if _signed(regs[instr.rs1]) < _signed(regs[instr.rs2]):
+                    next_pc = pc + instr.imm
+            elif op is Opcode.BGE:
+                if _signed(regs[instr.rs1]) >= _signed(regs[instr.rs2]):
+                    next_pc = pc + instr.imm
+            elif op is Opcode.JAL:
+                if instr.rd:
+                    regs[instr.rd] = next_pc
+                next_pc = instr.imm
+            elif op is Opcode.JALR:
+                target = (regs[instr.rs1] + instr.imm) & ~3
+                if instr.rd:
+                    regs[instr.rd] = next_pc
+                next_pc = target
+            regs[0] = 0
+            pc = next_pc
+
+        return ExecutionResult(
+            instructions_executed=count,
+            registers=regs,
+            memory=memory,
+            instruction_trace=ReferenceTrace.reads(np.asarray(ifetch, dtype=np.int64)),
+            data_trace=ReferenceTrace(
+                np.asarray(data_addrs, dtype=np.int64),
+                np.asarray(data_writes, dtype=bool),
+            ),
+            executed=executed,
+        )
+
+    @staticmethod
+    def _check_alignment(addr: int, pc: int) -> None:
+        if addr % WORD_BYTES:
+            raise SimulationError(f"unaligned access {addr:#x} at pc={pc:#x}")

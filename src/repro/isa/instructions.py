@@ -1,0 +1,151 @@
+"""The mini-RISC instruction set.
+
+A small SPARC-flavoured load/store ISA used as an *execution-driven* trace
+source: 32 general registers (r0 hardwired to zero), 32-bit words,
+register+immediate addressing, compare-and-branch.  It exists so the
+cache conclusions drawn from the synthetic workload proxies can be
+cross-checked against traces from real executing programs
+(DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigError
+
+NUM_REGISTERS = 32
+WORD_BYTES = 4
+
+
+class Opcode(Enum):
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLT = "slt"  # set if less-than (signed)
+    SLL = "sll"
+    SRL = "srl"
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    SLTI = "slti"
+    SLLI = "slli"
+    SRLI = "srli"
+    LUI = "lui"  # load upper immediate (imm << 16)
+    # Memory.
+    LD = "ld"  # load word
+    ST = "st"  # store word
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JAL = "jal"
+    JALR = "jalr"
+    HALT = "halt"
+    NOP = "nop"
+
+
+REG_REG_OPS = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SLT, Opcode.SLL, Opcode.SRL,
+}
+REG_IMM_OPS = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.SLTI, Opcode.SLLI,
+    Opcode.SRLI,
+}
+BRANCH_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+MEMORY_OPS = {Opcode.LD, Opcode.ST}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Field use by format:
+    - reg-reg:   rd, rs1, rs2
+    - reg-imm:   rd, rs1, imm
+    - lui:       rd, imm
+    - ld:        rd, imm(rs1)
+    - st:        rs2, imm(rs1)   (stores rs2 to memory)
+    - branch:    rs1, rs2, imm (byte offset from this instruction)
+    - jal:       rd, imm (absolute byte target)
+    - jalr:      rd, rs1, imm
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.rs1, self.rs2):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ConfigError(f"register r{reg} out of range")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode in (Opcode.JAL, Opcode.JALR)
+
+    def reads(self) -> set[int]:
+        """Source registers (excluding r0)."""
+        op = self.opcode
+        sources: set[int] = set()
+        if op in REG_REG_OPS:
+            sources = {self.rs1, self.rs2}
+        elif op in REG_IMM_OPS or op is Opcode.LD or op is Opcode.JALR:
+            sources = {self.rs1}
+        elif op is Opcode.ST:
+            sources = {self.rs1, self.rs2}
+        elif op in BRANCH_OPS:
+            sources = {self.rs1, self.rs2}
+        return sources - {0}
+
+    def writes(self) -> set[int]:
+        """Destination registers (excluding r0)."""
+        op = self.opcode
+        if op in REG_REG_OPS or op in REG_IMM_OPS or op in (
+            Opcode.LUI, Opcode.LD, Opcode.JAL, Opcode.JALR
+        ):
+            return {self.rd} - {0}
+        return set()
+
+    def disassemble(self) -> str:
+        op = self.opcode
+        if op in REG_REG_OPS:
+            return f"{op.value} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if op in REG_IMM_OPS:
+            return f"{op.value} r{self.rd}, r{self.rs1}, {self.imm}"
+        if op is Opcode.LUI:
+            return f"lui r{self.rd}, {self.imm}"
+        if op is Opcode.LD:
+            return f"ld r{self.rd}, {self.imm}(r{self.rs1})"
+        if op is Opcode.ST:
+            return f"st r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op in BRANCH_OPS:
+            return f"{op.value} r{self.rs1}, r{self.rs2}, {self.imm}"
+        if op is Opcode.JAL:
+            return f"jal r{self.rd}, {self.imm}"
+        if op is Opcode.JALR:
+            return f"jalr r{self.rd}, r{self.rs1}, {self.imm}"
+        return op.value

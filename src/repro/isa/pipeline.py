@@ -1,0 +1,147 @@
+"""5-stage pipeline timing for mini-RISC executions.
+
+Replays a functional execution through a simple in-order 5-stage timing
+model (the R4300i/MicroSparc-II class core of Section 4.1):
+
+- one instruction per cycle when nothing stalls;
+- a 1-cycle load-use interlock when an instruction consumes the register
+  a load wrote on the immediately preceding instruction;
+- a 1-cycle taken-branch/jump bubble;
+- instruction-fetch and data stalls from a pluggable memory model.
+
+The memory model decides per-reference latency; :class:`CacheMemoryModel`
+wires in any two :class:`repro.caches.base.Cache` objects with hit/miss
+latencies, so the same timing engine covers the proposed column-buffer
+device and conventional hierarchies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.caches.base import Cache
+from repro.isa.cpu import ExecutionResult
+from repro.isa.instructions import WORD_BYTES
+
+
+class MemoryModel(Protocol):
+    """Latency oracle for the pipeline timer."""
+
+    def ifetch_cycles(self, addr: int) -> int: ...
+
+    def data_cycles(self, addr: int, write: bool) -> int: ...
+
+
+@dataclass
+class FlatMemory:
+    """Uniform-latency memory (1 cycle = the ideal zero-stall system)."""
+
+    latency: int = 1
+
+    def ifetch_cycles(self, addr: int) -> int:
+        return self.latency
+
+    def data_cycles(self, addr: int, write: bool) -> int:
+        return self.latency
+
+
+class CacheMemoryModel:
+    """Route fetches and data through cache simulators.
+
+    ``miss_cycles`` is the full memory access latency (e.g. 6 for the
+    integrated device's DRAM array, much more for a conventional system).
+    """
+
+    def __init__(
+        self,
+        icache: Cache,
+        dcache: Cache,
+        hit_cycles: int = 1,
+        miss_cycles: int = 6,
+    ) -> None:
+        self.icache = icache
+        self.dcache = dcache
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+
+    def ifetch_cycles(self, addr: int) -> int:
+        return self.hit_cycles if self.icache.access(addr) else self.miss_cycles
+
+    def data_cycles(self, addr: int, write: bool) -> int:
+        return self.hit_cycles if self.dcache.access(addr, write) else self.miss_cycles
+
+
+@dataclass
+class TimingResult:
+    cycles: int
+    instructions: int
+    ifetch_stall_cycles: int
+    data_stall_cycles: int
+    interlock_cycles: int
+    branch_bubble_cycles: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class PipelineTimer:
+    """Compute cycles for an :class:`ExecutionResult`.
+
+    The execution must have been produced with
+    ``CPU(..., keep_instruction_objects=True)`` so per-instruction operand
+    information is available for interlock detection.
+    """
+
+    def run(self, result: ExecutionResult, memory: MemoryModel) -> TimingResult:
+        if not result.executed:
+            raise ValueError(
+                "execution has no instruction objects; run the CPU with "
+                "keep_instruction_objects=True"
+            )
+        pcs = result.instruction_trace.addresses
+        data_iter = iter(
+            zip(result.data_trace.addresses.tolist(),
+                result.data_trace.is_write.tolist())
+        )
+        cycles = 0
+        ifetch_stalls = 0
+        data_stalls = 0
+        interlocks = 0
+        bubbles = 0
+        previous_load_target: int | None = None
+        count = len(result.executed)
+        for index, instr in enumerate(result.executed):
+            pc = int(pcs[index])
+            fetch = memory.ifetch_cycles(pc)
+            cycles += 1 + (fetch - 1)
+            ifetch_stalls += fetch - 1
+            if previous_load_target is not None and (
+                previous_load_target in instr.reads()
+            ):
+                cycles += 1
+                interlocks += 1
+            previous_load_target = None
+            if instr.is_load or instr.is_store:
+                addr, write = next(data_iter)
+                access = memory.data_cycles(addr, write)
+                # Stores retire through the store buffer; loads stall the
+                # pipeline for the full access beyond one cycle.
+                if instr.is_load:
+                    cycles += access - 1
+                    data_stalls += access - 1
+                    previous_load_target = next(iter(instr.writes()), None)
+            if index + 1 < count:
+                next_pc = int(pcs[index + 1])
+                if (instr.is_branch or instr.is_jump) and next_pc != pc + WORD_BYTES:
+                    cycles += 1
+                    bubbles += 1
+        return TimingResult(
+            cycles=cycles,
+            instructions=count,
+            ifetch_stall_cycles=ifetch_stalls,
+            data_stall_cycles=data_stalls,
+            interlock_cycles=interlocks,
+            branch_bubble_cycles=bubbles,
+        )

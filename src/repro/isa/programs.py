@@ -1,0 +1,314 @@
+"""Kernel programs for the mini-RISC ISA.
+
+Each function returns assembly source parameterized by problem size.
+These are real, executing programs whose traces cross-validate the
+synthetic workload proxies: streaming (vector sum), blocked reuse
+(matrix multiply), pointer chasing (list traversal) and the classic
+stride walk used for Figure 2.
+"""
+
+from __future__ import annotations
+
+
+def vector_sum(n: int = 1024) -> str:
+    """Sum an ``n``-word array: a pure unit-stride streaming kernel."""
+    return f"""
+    .data
+    .org 0x100000
+array: .space {4 * n}
+
+    .text
+main:
+    la   r1, array        # cursor
+    li   r2, {n}          # remaining elements
+    li   r3, 0            # accumulator
+loop:
+    ld   r4, 0(r1)
+    add  r3, r3, r4
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    st   r3, 0(r1)        # store the checksum just past the array
+    halt
+"""
+
+
+def fill_array(n: int = 1024, value: int = 7) -> str:
+    """Store ``value`` into every element: a streaming write kernel."""
+    return f"""
+    .data
+    .org 0x100000
+buffer: .space {4 * n}
+
+    .text
+main:
+    la   r1, buffer
+    li   r2, {n}
+    li   r3, {value}
+loop:
+    st   r3, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    halt
+"""
+
+
+def matmul(n: int = 8) -> str:
+    """Naive n x n integer matrix multiply C = A x B (row-major words).
+
+    A is filled with row+1, B with the identity, so C must equal A —
+    the test suite checks this architecturally.
+    """
+    a, b, c = 0x100000, 0x100000 + 4 * n * n, 0x100000 + 8 * n * n
+    return f"""
+    .data
+    .org {a:#x}
+a_mat: .space {4 * n * n}
+b_mat: .space {4 * n * n}
+c_mat: .space {4 * n * n}
+
+    .text
+main:
+    # Fill A[i][j] = i + 1, B = identity.
+    li   r1, 0            # i
+init_i:
+    li   r2, 0            # j
+init_j:
+    # A[i][j] = i + 1
+    li   r5, {n}
+    mul  r6, r1, r5
+    add  r6, r6, r2
+    slli r6, r6, 2
+    la   r7, a_mat
+    add  r7, r7, r6
+    addi r8, r1, 1
+    st   r8, 0(r7)
+    # B[i][j] = (i == j)
+    la   r7, b_mat
+    add  r7, r7, r6
+    li   r8, 0
+    bne  r1, r2, not_diag
+    li   r8, 1
+not_diag:
+    st   r8, 0(r7)
+    addi r2, r2, 1
+    li   r5, {n}
+    blt  r2, r5, init_j
+    addi r1, r1, 1
+    blt  r1, r5, init_i
+
+    # C = A x B.
+    li   r1, 0            # i
+mul_i:
+    li   r2, 0            # j
+mul_j:
+    li   r3, 0            # k
+    li   r9, 0            # acc
+mul_k:
+    li   r5, {n}
+    mul  r6, r1, r5
+    add  r6, r6, r3
+    slli r6, r6, 2
+    la   r7, a_mat
+    add  r7, r7, r6
+    ld   r10, 0(r7)       # A[i][k]
+    mul  r6, r3, r5
+    add  r6, r6, r2
+    slli r6, r6, 2
+    la   r7, b_mat
+    add  r7, r7, r6
+    ld   r11, 0(r7)       # B[k][j]
+    mul  r12, r10, r11
+    add  r9, r9, r12
+    addi r3, r3, 1
+    blt  r3, r5, mul_k
+    mul  r6, r1, r5
+    add  r6, r6, r2
+    slli r6, r6, 2
+    la   r7, c_mat
+    add  r7, r7, r6
+    st   r9, 0(r7)
+    addi r2, r2, 1
+    li   r5, {n}
+    blt  r2, r5, mul_j
+    addi r1, r1, 1
+    blt  r1, r5, mul_i
+    halt
+"""
+
+
+def list_traversal(nodes: int = 256, node_stride_words: int = 16,
+                   laps: int = 4) -> str:
+    """Build a linked list with ``node_stride_words`` spacing, traverse it
+    ``laps`` times summing payloads: a pointer-chasing kernel."""
+    stride = 4 * node_stride_words
+    return f"""
+    .data
+    .org 0x100000
+heap: .space {stride * (nodes + 1)}
+
+    .text
+main:
+    # Build: node i at heap + i*stride; node.next at +0, payload at +4.
+    la   r1, heap
+    li   r2, {nodes}
+    li   r3, 1            # payload value = node index + 1
+build:
+    addi r4, r1, {stride} # next pointer
+    st   r4, 0(r1)
+    st   r3, 4(r1)
+    mv   r1, r4
+    addi r3, r3, 1
+    addi r2, r2, -1
+    bne  r2, r0, build
+    st   r0, 0(r1)        # terminate list
+
+    li   r9, {laps}       # laps
+    li   r8, 0            # checksum
+lap:
+    la   r1, heap
+walk:
+    ld   r5, 4(r1)        # payload
+    add  r8, r8, r5
+    ld   r1, 0(r1)        # follow next
+    bne  r1, r0, walk
+    addi r9, r9, -1
+    bne  r9, r0, lap
+    la   r1, heap
+    st   r8, 8(r1)        # record checksum in node 0's third word
+    halt
+"""
+
+
+def stride_walk(array_bytes: int = 65536, stride_bytes: int = 64,
+                passes: int = 4) -> str:
+    """Walk an array at a fixed stride — the Figure 2 microbenchmark."""
+    iters = max(1, array_bytes // stride_bytes)
+    return f"""
+    .data
+    .org 0x100000
+arena: .space {array_bytes + stride_bytes}
+
+    .text
+main:
+    li   r9, {passes}
+pass_loop:
+    la   r1, arena
+    li   r2, {iters}
+walk:
+    ld   r3, 0(r1)
+    addi r1, r1, {stride_bytes}
+    addi r2, r2, -1
+    bne  r2, r0, walk
+    addi r9, r9, -1
+    bne  r9, r0, pass_loop
+    halt
+"""
+
+
+def saxpy(n: int = 1024, a: int = 3) -> str:
+    """y[i] = a*x[i] + y[i]: two streams, one read-write — the canonical
+    vector kernel with a store on every iteration."""
+    return f"""
+    .data
+    .org 0x100000
+x_vec: .space {4 * n}
+y_vec: .space {4 * n}
+
+    .text
+main:
+    la   r1, x_vec
+    la   r2, y_vec
+    li   r3, {n}
+    li   r4, {a}
+loop:
+    ld   r5, 0(r1)
+    mul  r5, r5, r4
+    ld   r6, 0(r2)
+    add  r6, r6, r5
+    st   r6, 0(r2)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    halt
+"""
+
+
+def binary_search(elements: int = 1024, probes: int = 64) -> str:
+    """Repeated binary searches over a sorted array: log-depth pointer
+    hopping with terrible spatial locality — the anti-streaming kernel.
+
+    The array holds value 2*i at index i; each probe searches for an
+    even value derived from a linear-congruential sequence, so every
+    search succeeds and the total of found indices is checked by tests.
+    """
+    return f"""
+    .data
+    .org 0x100000
+sorted: .space {4 * elements}
+result: .space 8
+
+    .text
+main:
+    # Fill sorted[i] = 2*i.
+    la   r1, sorted
+    li   r2, 0
+fill:
+    slli r3, r2, 1
+    st   r3, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, 1
+    li   r4, {elements}
+    blt  r2, r4, fill
+
+    li   r9, {probes}      # probes remaining
+    li   r10, 17           # LCG state
+    li   r11, 0            # checksum of found indices
+probe:
+    # target = (state * 13 + 7) mod elements, then doubled (always found).
+    li   r4, 13
+    mul  r10, r10, r4
+    addi r10, r10, 7
+    li   r4, {elements - 1}
+    and  r10, r10, r4      # elements is a power of two
+    slli r12, r10, 1       # target value
+
+    li   r5, 0             # lo
+    li   r6, {elements}    # hi (exclusive)
+search:
+    bge  r5, r6, done_probe
+    add  r7, r5, r6
+    srli r7, r7, 1         # mid
+    slli r8, r7, 2
+    la   r13, sorted
+    add  r13, r13, r8
+    ld   r14, 0(r13)       # sorted[mid]
+    beq  r14, r12, found
+    blt  r14, r12, go_right
+    mv   r6, r7            # hi = mid
+    j    search
+go_right:
+    addi r5, r7, 1         # lo = mid + 1
+    j    search
+found:
+    add  r11, r11, r7      # checksum += index
+done_probe:
+    addi r9, r9, -1
+    bne  r9, r0, probe
+    la   r1, result
+    st   r11, 0(r1)
+    halt
+"""
+
+
+KERNELS = {
+    "vector_sum": vector_sum,
+    "fill_array": fill_array,
+    "matmul": matmul,
+    "list_traversal": list_traversal,
+    "stride_walk": stride_walk,
+    "saxpy": saxpy,
+    "binary_search": binary_search,
+}

@@ -1,0 +1,158 @@
+"""Parametric machine models: SS-5, SS-10/61 and the proposed device.
+
+Section 2 motivates integration with two real machines:
+
+- **SparcStation-5**: 85 MHz single-scalar MicroSparc-II, single-level
+  16 KB I / 8 KB D caches, memory controller *on the CPU die* — low main
+  memory latency.
+- **SparcStation-10/61**: 60 MHz superscalar SuperSparc, 20 KB I / 16 KB
+  D first-level caches, 1 MB second-level cache, memory behind MBus —
+  high main memory latency.
+
+The models carry per-level capacities and latencies and a base CPI.
+They feed the Figure 2 stride-walk microbenchmark and the Table 1
+runtime model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import KB, MB
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of a machine's cache hierarchy."""
+
+    size_bytes: int
+    line_bytes: int
+    latency_ns: float
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.latency_ns <= 0:
+            raise ConfigError("cache level parameters must be positive")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A whole machine: data-cache hierarchy + memory + core."""
+
+    name: str
+    clock_mhz: float
+    base_cpi: float  # CPI with all references hitting the first level
+    levels: tuple[CacheLevel, ...] = field(default_factory=tuple)
+    memory_latency_ns: float = 200.0
+    reference_fraction: float = 0.35  # loads+stores per instruction
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0 or self.base_cpi <= 0:
+            raise ConfigError("clock and base CPI must be positive")
+        if not self.levels:
+            raise ConfigError("a machine needs at least one cache level")
+        sizes = [level.size_bytes for level in self.levels]
+        if sizes != sorted(sizes):
+            raise ConfigError("cache levels must grow monotonically")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    def access_time_ns(self, array_bytes: int, stride_bytes: int) -> float:
+        """Mean load latency while walking ``array_bytes`` at ``stride_bytes``.
+
+        The lmbench-style model behind Figure 2: the walk hits in the
+        smallest level that holds the whole array; otherwise every
+        distinct line touched costs the next level, amortized over the
+        accesses that share a line.
+        """
+        if array_bytes <= 0 or stride_bytes <= 0:
+            raise ConfigError("array and stride must be positive")
+        for depth, level in enumerate(self.levels):
+            if array_bytes <= level.size_bytes:
+                return level.latency_ns
+            # The array overflows this level: accesses miss here whenever
+            # they touch a new line of the next level upward.
+            next_latency = (
+                self.levels[depth + 1].latency_ns
+                if depth + 1 < len(self.levels)
+                else self.memory_latency_ns
+            )
+            if depth + 1 < len(self.levels) and array_bytes <= self.levels[
+                depth + 1
+            ].size_bytes:
+                miss_fraction = min(1.0, stride_bytes / level.line_bytes)
+                return (
+                    level.latency_ns
+                    + miss_fraction * (next_latency - 0.0)
+                )
+        # Overflows every level: misses all the way to memory.
+        last = self.levels[-1]
+        miss_fraction = min(1.0, stride_bytes / last.line_bytes)
+        return last.latency_ns + miss_fraction * self.memory_latency_ns
+
+    def runtime_seconds(
+        self,
+        instruction_count: float,
+        miss_rate_per_level: tuple[float, ...],
+    ) -> float:
+        """Execution time given per-level miss rates among references.
+
+        ``miss_rate_per_level[i]`` is the fraction of data references that
+        miss level ``i`` (and hit level ``i+1`` or, for the last entry,
+        memory).  Instruction fetch overheads are folded into base CPI.
+        """
+        if len(miss_rate_per_level) != len(self.levels):
+            raise ConfigError("need one miss rate per cache level")
+        cpi = self.base_cpi
+        for depth, miss in enumerate(miss_rate_per_level):
+            next_latency_ns = (
+                self.levels[depth + 1].latency_ns
+                if depth + 1 < len(self.levels)
+                else self.memory_latency_ns
+            )
+            cpi += (
+                self.reference_fraction
+                * miss
+                * next_latency_ns
+                / self.cycle_ns
+            )
+        return instruction_count * cpi / (self.clock_mhz * 1e6)
+
+
+def sparcstation_5() -> MachineModel:
+    """SS-5: slow, simple core with the memory controller on-die."""
+    return MachineModel(
+        name="SparcStation-5",
+        clock_mhz=85.0,
+        base_cpi=1.35,
+        levels=(CacheLevel(8 * KB, 16, latency_ns=12.0),),
+        memory_latency_ns=250.0,
+    )
+
+
+def sparcstation_10() -> MachineModel:
+    """SS-10/61: faster superscalar core, deep hierarchy, distant memory."""
+    return MachineModel(
+        name="SparcStation-10/61",
+        clock_mhz=60.0,
+        base_cpi=0.62,  # ~3-way superscalar SuperSparc
+        levels=(
+            CacheLevel(16 * KB, 32, latency_ns=17.0),
+            CacheLevel(1 * MB, 32, latency_ns=85.0),
+        ),
+        memory_latency_ns=620.0,
+    )
+
+
+def integrated_device() -> MachineModel:
+    """The proposed 200 MHz integrated processor/memory device."""
+    return MachineModel(
+        name="Integrated",
+        clock_mhz=200.0,
+        base_cpi=1.2,
+        levels=(CacheLevel(16 * KB, 512, latency_ns=5.0, associativity=2),),
+        memory_latency_ns=30.0,
+    )

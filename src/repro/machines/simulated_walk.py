@@ -1,0 +1,129 @@
+"""Simulation-based stride walk: Figure 2 by cache simulation.
+
+The analytic model in :mod:`repro.machines.stridewalk` computes each
+curve point in closed form; this module *measures* the same quantity by
+driving a stride-walk reference trace through real cache simulators with
+per-level latencies.  The two must agree — a cross-check between the
+machine models and the cache substrate — and the simulated path also
+covers organizations the analytic model cannot, like the integrated
+device's 512-byte-line column buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.base import Cache
+from repro.caches.column_buffer import proposed_dcache
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.common.params import CacheGeometry, IntegratedDeviceParams
+from repro.machines.models import MachineModel
+from repro.trace.generators import strided_sweep
+
+
+@dataclass(frozen=True)
+class SimulatedPoint:
+    array_bytes: int
+    stride_bytes: int
+    latency_ns: float
+    miss_rate: float
+
+
+def _walk_trace(array_bytes: int, stride_bytes: int, passes: int):
+    count = max(1, array_bytes // stride_bytes)
+    return strided_sweep(0, stride_bytes, count, stride_bytes, sweeps=passes)
+
+
+def simulate_walk(
+    caches: list[tuple[Cache, float]],
+    memory_latency_ns: float,
+    array_bytes: int,
+    stride_bytes: int,
+    passes: int = 4,
+) -> SimulatedPoint:
+    """Mean measured load latency for one (size, stride) point.
+
+    ``caches`` is an ordered list of (cache, latency_ns); a reference is
+    charged the first level it hits, or memory.  The first pass warms the
+    caches and is excluded from the average (as lmbench does).
+    """
+    trace = _walk_trace(array_bytes, stride_bytes, passes)
+    per_pass = len(trace) // passes
+    total_ns = 0.0
+    measured = 0
+    misses = 0
+    for position, (addr, _) in enumerate(trace):
+        latency = memory_latency_ns
+        hit_level = None
+        for level, (cache, level_ns) in enumerate(caches):
+            if cache.access(int(addr)):
+                latency = level_ns
+                hit_level = level
+                break
+            # A miss at this level falls through (and fills it).
+        if position >= per_pass:  # skip the warmup pass
+            total_ns += latency
+            measured += 1
+            if hit_level is None:
+                misses += 1
+    return SimulatedPoint(
+        array_bytes=array_bytes,
+        stride_bytes=stride_bytes,
+        latency_ns=total_ns / measured if measured else 0.0,
+        miss_rate=misses / measured if measured else 0.0,
+    )
+
+
+def machine_caches(machine: MachineModel) -> list[tuple[Cache, float]]:
+    """Build cache simulators matching a machine model's hierarchy."""
+    return [
+        (
+            SetAssociativeCache(
+                CacheGeometry(
+                    level.size_bytes, level.line_bytes,
+                    level.associativity,
+                )
+            ),
+            level.latency_ns,
+        )
+        for level in machine.levels
+    ]
+
+
+def simulate_machine_walk(
+    machine: MachineModel,
+    array_bytes: int,
+    stride_bytes: int,
+    passes: int = 4,
+) -> SimulatedPoint:
+    """Measured stride-walk latency on a :class:`MachineModel`."""
+    return simulate_walk(
+        machine_caches(machine),
+        machine.memory_latency_ns,
+        array_bytes,
+        stride_bytes,
+        passes,
+    )
+
+
+def simulate_integrated_walk(
+    array_bytes: int,
+    stride_bytes: int,
+    params: IntegratedDeviceParams | None = None,
+    passes: int = 4,
+) -> SimulatedPoint:
+    """The integrated device on the same microbenchmark.
+
+    Column-buffer hits cost one 5 ns cycle; misses cost the 30 ns DRAM
+    array access — flat in array size, the device's whole argument.
+    """
+    params = params or IntegratedDeviceParams()
+    cycle_ns = params.pipeline.cycle_ns
+    dcache = proposed_dcache(params)
+    return simulate_walk(
+        [(dcache, cycle_ns)],
+        params.dram.access_cycles * cycle_ns,
+        array_bytes,
+        stride_bytes,
+        passes,
+    )

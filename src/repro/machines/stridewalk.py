@@ -1,0 +1,76 @@
+"""The Figure 2 microbenchmark: latency vs array size and stride.
+
+Walks arrays of increasing size at various strides through a
+:class:`~repro.machines.models.MachineModel` and reports the mean load
+latency — the classic lmbench ``lat_mem_rd`` plot the paper uses to
+expose the SS-5's lower main-memory latency.
+
+An optional prefetch model covers the SS-10's prefetch unit, which hides
+memory access time for small linear strides (the paper's footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KB, MB
+from repro.machines.models import MachineModel
+
+DEFAULT_SIZES = tuple(
+    size
+    for size in (
+        4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB,
+        512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB, 64 * MB,
+    )
+)
+DEFAULT_STRIDES = (16, 64, 256, 4096)
+
+
+@dataclass(frozen=True)
+class StrideWalkPoint:
+    array_bytes: int
+    stride_bytes: int
+    latency_ns: float
+
+
+def stride_walk_curve(
+    machine: MachineModel,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    strides: tuple[int, ...] = DEFAULT_STRIDES,
+    prefetch_threshold_bytes: int = 0,
+) -> list[StrideWalkPoint]:
+    """All (size, stride) latency points for one machine.
+
+    ``prefetch_threshold_bytes`` > 0 models a sequential prefetch unit:
+    walks with strides at or below the threshold see first-level latency
+    regardless of array size (the SS-10 behaviour for small strides).
+    """
+    points = []
+    for stride in strides:
+        for size in sizes:
+            if prefetch_threshold_bytes and stride <= prefetch_threshold_bytes:
+                latency = machine.levels[0].latency_ns
+            else:
+                latency = machine.access_time_ns(size, stride)
+            points.append(StrideWalkPoint(size, stride, latency))
+    return points
+
+
+def crossover_sizes(
+    fast_far: MachineModel,
+    slow_far: MachineModel,
+    stride: int = 4096,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+) -> list[int]:
+    """Array sizes at which ``fast_far`` beats ``slow_far``.
+
+    For the paper's pair: the SS-5 wins once the working set spills the
+    SS-10's 1 MB second-level cache.
+    """
+    wins = []
+    for size in sizes:
+        if fast_far.access_time_ns(size, stride) < slow_far.access_time_ns(
+            size, stride
+        ):
+            wins.append(size)
+    return wins

@@ -1,0 +1,29 @@
+"""Execution-driven multiprocessor simulation (Section 6)."""
+
+from repro.mp.engine import KernelFactory, MPEngine, MPResult
+from repro.mp.layout import NODE_REGION_BYTES, Layout
+from repro.mp.node import HitLevel, IntegratedNode, ReferenceNode, SCOMANode
+from repro.mp.ops import Barrier, Compute, Lock, Op, Read, Unlock, Write
+from repro.mp.system import AccessStats, MPSystem, SystemKind
+
+__all__ = [
+    "AccessStats",
+    "Barrier",
+    "Compute",
+    "HitLevel",
+    "IntegratedNode",
+    "KernelFactory",
+    "Layout",
+    "Lock",
+    "MPEngine",
+    "MPResult",
+    "MPSystem",
+    "NODE_REGION_BYTES",
+    "Op",
+    "Read",
+    "ReferenceNode",
+    "SCOMANode",
+    "SystemKind",
+    "Unlock",
+    "Write",
+]

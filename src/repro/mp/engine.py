@@ -1,0 +1,170 @@
+"""Execution-driven multiprocessor engine.
+
+Each processor runs a real Python kernel (a generator over
+:mod:`repro.mp.ops`); the engine interleaves processors by simulated
+time — the CacheMire methodology of Section 6.1: processors issue memory
+accesses, and the architecture model delays them according to Table 6.
+
+Scheduling is an event queue of runnable processors ordered by
+``(time, proc_id)``, which makes runs deterministic.  Locks are FIFO;
+barriers release all participants at the latest arrival plus a fixed
+overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.common.errors import SimulationError
+from repro.mp.ops import Barrier, Compute, Lock, Op, Read, Unlock, Write
+from repro.mp.system import MPSystem
+
+KernelFactory = Callable[[int, int], Iterator[Op]]
+"""Builds the op stream for (proc_id, num_procs)."""
+
+
+@dataclass
+class _LockState:
+    holder: int | None = None
+    waiters: list[int] = field(default_factory=list)  # FIFO proc ids
+
+
+@dataclass
+class _BarrierState:
+    waiting: list[int] = field(default_factory=list)
+    latest_arrival: int = 0
+
+
+@dataclass
+class MPResult:
+    """Outcome of one multiprocessor run."""
+
+    finish_times: list[int]
+    ops_executed: list[int]
+    lock_wait_cycles: list[int]
+    barrier_wait_cycles: list[int]
+
+    @property
+    def execution_time(self) -> int:
+        """Total execution time: when the last processor finished."""
+        return max(self.finish_times) if self.finish_times else 0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops_executed)
+
+
+class MPEngine:
+    """Drives one kernel on one system configuration."""
+
+    def __init__(
+        self,
+        system: MPSystem,
+        barrier_overhead: int = 100,
+        lock_transfer_cycles: int = 80,
+        max_ops: int = 200_000_000,
+    ) -> None:
+        self.system = system
+        self.barrier_overhead = barrier_overhead
+        self.lock_transfer_cycles = lock_transfer_cycles
+        self.max_ops = max_ops
+
+    def run(self, kernel: KernelFactory) -> MPResult:
+        n = self.system.num_nodes
+        procs = [kernel(i, n) for i in range(n)]
+        time = [0] * n
+        finished = [False] * n
+        ops_executed = [0] * n
+        lock_wait = [0] * n
+        barrier_wait = [0] * n
+        locks: dict[int, _LockState] = {}
+        barriers: dict[int, _BarrierState] = {}
+        ready: list[tuple[int, int]] = [(0, i) for i in range(n)]
+        heapq.heapify(ready)
+        blocked_since: dict[int, int] = {}
+        total_ops = 0
+
+        def resume(proc: int, at_time: int) -> None:
+            time[proc] = at_time
+            heapq.heappush(ready, (at_time, proc))
+
+        while ready:
+            now, proc = heapq.heappop(ready)
+            if finished[proc] or now < time[proc]:
+                continue  # stale entry
+            try:
+                op = next(procs[proc])
+            except StopIteration:
+                finished[proc] = True
+                continue
+            total_ops += 1
+            ops_executed[proc] += 1
+            if total_ops > self.max_ops:
+                raise SimulationError("MP op budget exceeded")
+
+            if isinstance(op, (Read, Write)):
+                latency = self.system.access(proc, op.addr, isinstance(op, Write))
+                resume(proc, now + latency)
+            elif isinstance(op, Compute):
+                resume(proc, now + max(0, op.cycles))
+            elif isinstance(op, Lock):
+                state = locks.setdefault(op.lock_id, _LockState())
+                if state.holder is None:
+                    state.holder = proc
+                    latency = self.system.access(proc, self._lock_addr(op.lock_id), True)
+                    resume(proc, now + latency)
+                else:
+                    state.waiters.append(proc)
+                    blocked_since[proc] = now
+            elif isinstance(op, Unlock):
+                state = locks.get(op.lock_id)
+                if state is None or state.holder != proc:
+                    raise SimulationError(
+                        f"proc {proc} unlocked lock {op.lock_id} it does not hold"
+                    )
+                latency = self.system.access(proc, self._lock_addr(op.lock_id), True)
+                release_time = now + latency
+                if state.waiters:
+                    waiter = state.waiters.pop(0)
+                    state.holder = waiter
+                    start = release_time + self.lock_transfer_cycles
+                    lock_wait[waiter] += start - blocked_since.pop(waiter)
+                    resume(waiter, start)
+                else:
+                    state.holder = None
+                resume(proc, release_time)
+            elif isinstance(op, Barrier):
+                state = barriers.setdefault(op.barrier_id, _BarrierState())
+                state.waiting.append(proc)
+                state.latest_arrival = max(state.latest_arrival, now)
+                if len(state.waiting) == n:
+                    release = state.latest_arrival + self.barrier_overhead
+                    for waiter in state.waiting:
+                        barrier_wait[waiter] += release - (
+                            time[waiter] if waiter != proc else now
+                        )
+                        resume(waiter, release)
+                    barriers[op.barrier_id] = _BarrierState()
+                # else: the processor stays blocked (not re-queued).
+            else:  # pragma: no cover - exhaustive over Op
+                raise SimulationError(f"unknown op {op!r}")
+
+        if not all(finished):
+            stuck = [i for i, done in enumerate(finished) if not done]
+            raise SimulationError(f"deadlock: processors {stuck} never finished")
+        return MPResult(
+            finish_times=time,
+            ops_executed=ops_executed,
+            lock_wait_cycles=lock_wait,
+            barrier_wait_cycles=barrier_wait,
+        )
+
+    def _lock_addr(self, lock_id: int) -> int:
+        """Locks are distributed round-robin over the nodes' regions."""
+        region = self.system.layout.region_bytes
+        home = lock_id % self.system.num_nodes
+        # Locks occupy the top 64 KB of each region, clear of data allocations.
+        offset = region - 0x1_0000 + (lock_id // self.system.num_nodes) * 64
+        return home * region + offset

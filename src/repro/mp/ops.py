@@ -1,0 +1,45 @@
+"""Operations a multiprocessor workload can issue.
+
+Workload kernels are Python generators yielding these records; the MP
+engine charges each one with simulated time from the node memory model
+(Table 6 latencies) and handles synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Read:
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    addr: int
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Local computation taking ``cycles`` with no memory traffic."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Lock:
+    lock_id: int
+
+
+@dataclass(frozen=True)
+class Unlock:
+    lock_id: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    barrier_id: int
+
+
+Op = Read | Write | Compute | Lock | Unlock | Barrier

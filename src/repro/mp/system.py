@@ -1,0 +1,245 @@
+"""The shared-memory system model: nodes + directory + latencies.
+
+``MPSystem.access`` is the heart of the MP evaluation: it routes one
+read or write through the requesting node's caches and the
+write-invalidate directory protocol, maintains every node's cache
+contents, and returns the latency in processor cycles per Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.coherence.protocol import Directory
+from repro.common.errors import ConfigError
+from repro.common.params import IntegratedDeviceParams, MPLatencies
+from repro.common.units import MB
+from repro.interconnect.fabric import Fabric, MessageType
+from repro.mp.layout import Layout
+from repro.mp.node import HitLevel, IntegratedNode, ReferenceNode, SCOMANode
+
+
+class SystemKind(Enum):
+    """The three configurations of Figures 13-17, plus Simple-COMA.
+
+    The paper's protocol engines support both CC-NUMA and Simple-COMA
+    operation (Section 4.2); the evaluation section uses CC-NUMA, and the
+    S-COMA mode is provided as the documented extension.
+    """
+
+    INTEGRATED = "integrated"  # column buffers + victim cache + INC
+    INTEGRATED_NO_VICTIM = "integrated-no-victim"
+    REFERENCE = "reference"  # 16 KB FLC + infinite SLC CC-NUMA
+    SCOMA = "scoma"  # integrated device, Simple-COMA attraction memory
+
+
+@dataclass
+class AccessStats:
+    by_level: dict[HitLevel, int] = field(default_factory=dict)
+    reads: int = 0
+    writes: int = 0
+    local: int = 0
+    remote: int = 0
+    upgrades: int = 0
+    recalls: int = 0
+
+    def record_level(self, level: HitLevel) -> None:
+        self.by_level[level] = self.by_level.get(level, 0) + 1
+
+    def imbalance(self, others: list["AccessStats"]) -> float:
+        """Max/mean access-count ratio across per-node stats."""
+        counts = [s.total for s in others]
+        mean = sum(counts) / len(counts) if counts else 0
+        return max(counts) / mean if mean else 0.0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def hit_fraction(self, level: HitLevel) -> float:
+        return self.by_level.get(level, 0) / self.total if self.total else 0.0
+
+
+class MPSystem:
+    """A CC-NUMA machine built from integrated or reference nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        kind: SystemKind = SystemKind.INTEGRATED,
+        latencies: MPLatencies | None = None,
+        layout: Layout | None = None,
+        inc_bytes: int = 1 * MB,
+        device_params: IntegratedDeviceParams | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ConfigError("need at least one node")
+        self.kind = kind
+        self.latencies = latencies or MPLatencies()
+        self.layout = layout or Layout(num_nodes)
+        self.directory = Directory()
+        self.fabric = Fabric(device_params)
+        self.stats = AccessStats()
+        self.node_stats = [AccessStats() for _ in range(num_nodes)]
+
+        def _remote_evicted(node_id: int, addr: int) -> None:
+            self.directory.record_eviction(addr, node_id)
+
+        if kind is SystemKind.REFERENCE:
+            self.nodes = [ReferenceNode(i) for i in range(num_nodes)]
+            self._reference_evictions = True
+        elif kind is SystemKind.SCOMA:
+            self.nodes = [
+                SCOMANode(i, params=device_params,
+                          on_remote_eviction=_remote_evicted)
+                for i in range(num_nodes)
+            ]
+            self._reference_evictions = False
+        else:
+            with_victim = kind is SystemKind.INTEGRATED
+            self.nodes = [
+                IntegratedNode(
+                    i,
+                    params=device_params,
+                    inc_bytes=inc_bytes,
+                    with_victim=with_victim,
+                    on_remote_eviction=_remote_evicted,
+                )
+                for i in range(num_nodes)
+            ]
+            self._reference_evictions = False
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # -- the protocol -------------------------------------------------------
+
+    def access(self, node_id: int, addr: int, write: bool) -> int:
+        """Apply one reference; returns its latency in cycles."""
+        home = self.layout.home_of(addr)
+        local = home == node_id
+        for stats in (self.stats, self.node_stats[node_id]):
+            if write:
+                stats.writes += 1
+            else:
+                stats.reads += 1
+            if local:
+                stats.local += 1
+            else:
+                stats.remote += 1
+        self._current_node_stats = self.node_stats[node_id]
+        if local:
+            return self._local_access(node_id, addr, write)
+        return self._remote_access(node_id, addr, home, write)
+
+    def _record_level(self, level: HitLevel) -> None:
+        self.stats.record_level(level)
+        self._current_node_stats.record_level(level)
+
+    def _invalidate_copies(self, addr: int, victims: set[int]) -> None:
+        for victim in victims:
+            self.nodes[victim].invalidate(addr)
+        if victims:
+            self.fabric.send(MessageType.INVALIDATE, len(victims))
+            self.fabric.send(MessageType.ACK, len(victims))
+
+    def _local_access(self, node_id: int, addr: int, write: bool) -> int:
+        node = self.nodes[node_id]
+        lat = self.latencies
+        directory = self.directory
+        if directory.is_remote_exclusive(addr, node_id):
+            # Recall the dirty block from its remote owner before touching
+            # local memory (round-trip latency dominates).
+            self.stats.recalls += 1
+            owner = directory.entry(addr).owner
+            if write:
+                victims = directory.record_write(addr, node_id, node_id)
+                self._invalidate_copies(addr, victims)
+            else:
+                directory.record_read(addr, node_id, node_id)
+                self.fabric.send(MessageType.READ_REQUEST)
+            self.fabric.send(MessageType.WRITEBACK)
+            node.lookup(addr, is_local=True)  # keep cache state coherent
+            self._record_level(HitLevel.REMOTE)
+            del owner
+            return lat.invalidation_round_trip
+        if write:
+            victims = directory.copies_to_invalidate(addr, node_id)
+            level = node.lookup(addr, is_local=True)
+            self._record_level(level)
+            if victims:
+                self.stats.upgrades += 1
+                directory.record_write(addr, node_id, node_id)
+                self._invalidate_copies(addr, victims)
+                return lat.invalidation_round_trip
+            return self._local_level_latency(level)
+        level = node.lookup(addr, is_local=True)
+        self._record_level(level)
+        return self._local_level_latency(level)
+
+    def _local_level_latency(self, level: HitLevel) -> int:
+        lat = self.latencies
+        if level is HitLevel.CACHE:
+            return lat.cache_hit if not self._reference_evictions else lat.flc_hit
+        if level is HitLevel.VICTIM:
+            return lat.victim_hit
+        if level is HitLevel.SLC:
+            return lat.slc_hit
+        return lat.local_memory
+
+    def _remote_access(self, node_id: int, addr: int, home: int, write: bool) -> int:
+        node = self.nodes[node_id]
+        lat = self.latencies
+        directory = self.directory
+        if write:
+            if directory.is_owner(addr, node_id):
+                level = node.lookup(addr, is_local=False)
+                if level in (HitLevel.CACHE, HitLevel.VICTIM):
+                    self._record_level(level)
+                    return lat.victim_hit
+                if level in (HitLevel.INC, HitLevel.SLC):
+                    self._record_level(level)
+                    return lat.inc_access if not self._reference_evictions else lat.slc_hit
+                if level is HitLevel.LOCAL_MEMORY:
+                    self._record_level(level)
+                    return lat.local_memory
+                # The eviction callback downgraded us; fall through.
+            # Upgrade or remote write miss: fetch ownership, invalidating
+            # every other copy (one lumped round trip, Table 6).
+            self.stats.upgrades += 1
+            victims = directory.record_write(addr, node_id, home)
+            self._invalidate_copies(addr, victims)
+            node.fill_remote(addr)
+            self.fabric.send(MessageType.WRITE_REQUEST)
+            self.fabric.send(MessageType.READ_REPLY)
+            self._record_level(HitLevel.REMOTE)
+            return lat.invalidation_round_trip
+        level = node.lookup(addr, is_local=False)
+        if level in (HitLevel.CACHE, HitLevel.VICTIM):
+            self._record_level(level)
+            return lat.victim_hit if not self._reference_evictions else lat.flc_hit
+        if level is HitLevel.INC:
+            self._record_level(level)
+            return lat.inc_access
+        if level is HitLevel.SLC:
+            self._record_level(level)
+            return lat.slc_hit
+        if level is HitLevel.LOCAL_MEMORY:
+            # S-COMA attraction-memory hit: the imported page lives in
+            # local DRAM and is served at local latency.
+            self._record_level(level)
+            return lat.local_memory
+        # Remote load: to the home (and possibly on to a dirty owner),
+        # one lumped 80-cycle latency (Table 6).  An S-COMA first touch of
+        # the page additionally pays the software allocation fault.
+        directory.record_read(addr, node_id, home)
+        node.fill_remote(addr)
+        self.fabric.send(MessageType.READ_REQUEST)
+        self.fabric.send(MessageType.READ_REPLY)
+        self._record_level(level if level is HitLevel.PAGE_FAULT
+                                else HitLevel.REMOTE)
+        if level is HitLevel.PAGE_FAULT:
+            return lat.scoma_page_fault + lat.remote_load
+        return lat.remote_load

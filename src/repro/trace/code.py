@@ -1,0 +1,142 @@
+"""Instruction-stream generation: the code walker.
+
+The SPEC'95 I-cache results (Figure 7) are driven entirely by the shape of
+each benchmark's dynamic instruction stream: how big the code footprint
+is, how long the straight-line runs are, how tight the loops are, and
+whether distinct code regions alias in a small cache.  The
+:class:`CodeWalker` generates such streams from a handful of parameters.
+
+Execution is modelled as a sequence of *episodes*:
+
+- a **loop episode** re-executes a body of ``body_bytes`` for a geometric
+  number of trips;
+- a **sequential episode** executes a straight-line run of ``run_bytes``
+  (fpppp-style basic-block chains).
+
+Episode start addresses are drawn from a Zipf-like distribution over
+function slots so a configurable fraction of dynamic instructions stays
+within a hot subset of the footprint.  An optional *aliased call pair*
+reproduces turb3d's pathology: a loop whose body calls a function that
+maps to the same line(s) of an 8 KB, 512 B-line cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.trace.stream import ReferenceTrace, expand_runs
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class AliasedCallPair:
+    """A loop at ``loop_addr`` calling ``callee_addr`` every iteration.
+
+    When the two addresses fall into the same line of a direct-mapped
+    cache, every iteration misses twice.  ``fraction`` is the share of
+    dynamic instructions spent in this construct.
+    """
+
+    loop_addr: int
+    callee_addr: int
+    loop_bytes: int = 192
+    callee_bytes: int = 224
+    fraction: float = 0.35
+
+
+@dataclass(frozen=True)
+class CodeProfile:
+    """Parameters describing a benchmark's dynamic code behaviour."""
+
+    code_bytes: int  # total static code footprint
+    hot_bytes: int  # size of the hot region most episodes start in
+    hot_fraction: float = 0.95  # dynamic share of episodes in the hot region
+    loop_fraction: float = 0.7  # share of episodes that are loops
+    body_bytes: int = 160  # mean loop body size
+    mean_trips: float = 20.0  # mean loop trip count (geometric)
+    run_bytes: int = 512  # mean straight-line run length
+    aliased: AliasedCallPair | None = None
+
+    def __post_init__(self) -> None:
+        if self.code_bytes <= 0 or self.hot_bytes <= 0:
+            raise ConfigError("code footprint sizes must be positive")
+        if self.hot_bytes > self.code_bytes:
+            raise ConfigError("hot region cannot exceed the code footprint")
+        for name in ("hot_fraction", "loop_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.body_bytes <= 0 or self.run_bytes <= 0 or self.mean_trips < 1:
+            raise ConfigError("episode sizes must be positive")
+
+
+class CodeWalker:
+    """Generates instruction-fetch address streams from a profile."""
+
+    def __init__(self, profile: CodeProfile, base: int = 0x1_0000) -> None:
+        self.profile = profile
+        self.base = base
+
+    def _episode_start(self, rng: np.random.Generator, span: int) -> int:
+        """A 4-byte-aligned start address inside a region of ``span`` bytes,
+        biased toward the region's front (Zipf-like reuse of early slots)."""
+        slots = max(1, span // 64)
+        # Squaring a uniform variate concentrates mass near zero, giving a
+        # heavy-tailed reuse distribution without scipy.
+        slot = int(rng.random() ** 2 * slots)
+        return min(slot, slots - 1) * 64
+
+    def generate(self, length: int, rng: np.random.Generator) -> ReferenceTrace:
+        """An instruction trace of approximately ``length`` references."""
+        profile = self.profile
+        starts: list[int] = []
+        counts: list[int] = []
+        produced = 0
+        alias = profile.aliased
+
+        def emit(addr: int, nbytes: int) -> None:
+            nonlocal produced
+            n = max(1, nbytes // INSTRUCTION_BYTES)
+            starts.append(self.base + addr)
+            counts.append(n)
+            produced += n
+
+        while produced < length:
+            roll = rng.random()
+            if alias is not None and roll < alias.fraction:
+                trips = 1 + rng.geometric(1.0 / profile.mean_trips)
+                for _ in range(min(trips, length)):
+                    emit(alias.loop_addr, alias.loop_bytes // 2)
+                    emit(alias.callee_addr, alias.callee_bytes)
+                    emit(alias.loop_addr + alias.loop_bytes // 2, alias.loop_bytes // 2)
+                    if produced >= length:
+                        break
+                continue
+            hot = rng.random() < profile.hot_fraction
+            span = profile.hot_bytes if hot else profile.code_bytes
+            start = self._episode_start(rng, span)
+            room = profile.code_bytes - start  # episodes stay in the footprint
+            if rng.random() < profile.loop_fraction:
+                body = max(
+                    INSTRUCTION_BYTES,
+                    min(int(rng.exponential(profile.body_bytes)), room),
+                )
+                trips = 1 + rng.geometric(1.0 / profile.mean_trips)
+                for _ in range(min(trips, max(1, (length - produced) * 4 // body))):
+                    emit(start, body)
+            else:
+                run = max(
+                    INSTRUCTION_BYTES,
+                    min(int(rng.exponential(profile.run_bytes)), room),
+                )
+                emit(start, run)
+        addrs = expand_runs(
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+            step=INSTRUCTION_BYTES,
+        )[:length]
+        return ReferenceTrace.reads(addrs)

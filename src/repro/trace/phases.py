@@ -1,0 +1,68 @@
+"""Phase-structured reference streams.
+
+Real programs run in *phases* — initialization, compute loops, output —
+each with its own access pattern; miss rates measured across a phase
+change differ from any single pattern's.  ``phased_trace`` concatenates
+sub-traces with optional per-phase repetition, and ``PhaseSchedule``
+describes a cyclic schedule (useful for iterative solvers that alternate
+sweep directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.trace.stream import ReferenceTrace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a trace and how many times it repeats before moving on."""
+
+    trace: ReferenceTrace
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigError("phase must repeat at least once")
+        if len(self.trace) == 0:
+            raise ConfigError("phase trace must be non-empty")
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """A cyclic sequence of phases."""
+
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigError("schedule needs at least one phase")
+
+    @property
+    def cycle_length(self) -> int:
+        return sum(len(p.trace) * p.repeats for p in self.phases)
+
+    def generate(self, length: int) -> ReferenceTrace:
+        """A trace of exactly ``length`` references cycling the schedule."""
+        if length <= 0:
+            raise ConfigError("length must be positive")
+        pieces: list[ReferenceTrace] = []
+        produced = 0
+        while produced < length:
+            for phase in self.phases:
+                for _ in range(phase.repeats):
+                    pieces.append(phase.trace)
+                    produced += len(phase.trace)
+                    if produced >= length:
+                        break
+                if produced >= length:
+                    break
+        return ReferenceTrace.concat(pieces)[:length]
+
+
+def phased_trace(phases: list[tuple[ReferenceTrace, int]], length: int) -> ReferenceTrace:
+    """Convenience wrapper: build a schedule and generate in one call."""
+    schedule = PhaseSchedule(tuple(Phase(trace, reps) for trace, reps in phases))
+    return schedule.generate(length)

@@ -1,0 +1,17 @@
+"""Uniprocessor performance pipeline: miss rates -> GSPN -> CPI -> Spec."""
+
+from repro.uniproc.measurement import (
+    MissRates,
+    measure_conventional,
+    measure_integrated,
+)
+from repro.uniproc.pipeline import CPIEstimate, conventional_cpi, integrated_cpi
+
+__all__ = [
+    "CPIEstimate",
+    "MissRates",
+    "conventional_cpi",
+    "integrated_cpi",
+    "measure_conventional",
+    "measure_integrated",
+]

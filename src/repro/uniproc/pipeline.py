@@ -1,0 +1,119 @@
+"""The full uniprocessor performance pipeline (Section 5.5).
+
+``integrated_cpi`` and ``conventional_cpi`` reproduce the paper's
+methodology end-to-end: trace-driven miss rates are dialed into the
+Figure 10 GSPN, the Monte-Carlo CPI gives the *memory* component
+(anything above the net's ideal CPI of 1), and the benchmark's base CPI
+from the functional-unit model supplies the *cpu* component — the
+``cpu + memory`` split of Table 3.  Spec-ratios follow via the
+per-benchmark conversion constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paperdata import PAPER_TABLE4, spec_ratio_constant
+from repro.common.rng import make_rng, split_rng
+from repro.gspn.models import (
+    ISSUE_TRANSITION,
+    ProcessorNetParams,
+    build_processor_net,
+)
+from repro.gspn.sim import GSPNSimulator
+from repro.uniproc.measurement import MissRates, measure_conventional, measure_integrated
+from repro.workloads.spec.model import SpecProxy
+
+
+@dataclass(frozen=True)
+class CPIEstimate:
+    """One benchmark's estimated performance."""
+
+    name: str
+    cpu_cpi: float
+    memory_cpi: float
+
+    @property
+    def total_cpi(self) -> float:
+        return self.cpu_cpi + self.memory_cpi
+
+    @property
+    def spec_ratio(self) -> float | None:
+        """Spec-ratio estimate; None for non-SPEC benchmarks (Synopsys)."""
+        if self.name not in PAPER_TABLE4:
+            return None
+        return spec_ratio_constant(self.name) / self.total_cpi
+
+
+def _gspn_memory_cpi(
+    proxy: SpecProxy,
+    rates: MissRates,
+    instructions: int,
+    seed: int,
+    **net_overrides,
+) -> float:
+    params = ProcessorNetParams(
+        p_load=proxy.mix.p_load,
+        p_store=proxy.mix.p_store,
+        ifetch=rates.ifetch,
+        load=rates.load,
+        store=rates.store,
+        **net_overrides,
+    )
+    net = build_processor_net(params)
+    rng = split_rng(make_rng(seed), proxy.name, "gspn")
+    sim = GSPNSimulator(net, rng)
+    result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=instructions)
+    cpi = result.time / result.firings[ISSUE_TRANSITION]
+    return max(0.0, cpi - 1.0)
+
+
+def integrated_cpi(
+    proxy: SpecProxy,
+    with_victim: bool = True,
+    trace_len: int = 150_000,
+    instructions: int = 20_000,
+    seed: int = 0,
+    mem_access: float = 6.0,
+    num_banks: int = 16,
+    scoreboard_rate: float | None = 1.0,
+) -> CPIEstimate:
+    """CPI of the proposed integrated device for one benchmark."""
+    rates = measure_integrated(proxy, trace_len, seed, with_victim)
+    memory = _gspn_memory_cpi(
+        proxy,
+        rates,
+        instructions,
+        seed,
+        mem_access=mem_access,
+        num_banks=num_banks,
+        scoreboard_rate=scoreboard_rate,
+        has_l2=False,
+    )
+    return CPIEstimate(proxy.name, proxy.base_cpi(), memory)
+
+
+def conventional_cpi(
+    proxy: SpecProxy,
+    l2_latency: float = 6.0,
+    mem_latency: float = 24.0,
+    trace_len: int = 150_000,
+    instructions: int = 20_000,
+    seed: int = 0,
+    num_banks: int = 2,
+    scoreboard_rate: float | None = 1.0,
+) -> CPIEstimate:
+    """CPI of the conventional reference system (Figure 11's subject)."""
+    rates = measure_conventional(proxy, trace_len, seed)
+    memory = _gspn_memory_cpi(
+        proxy,
+        rates,
+        instructions,
+        seed,
+        mem_access=mem_latency,
+        l2_latency=l2_latency,
+        num_banks=num_banks,
+        scoreboard_rate=scoreboard_rate,
+        has_l2=True,
+    )
+    return CPIEstimate(proxy.name, proxy.base_cpi(), memory)

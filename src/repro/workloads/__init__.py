@@ -1,0 +1,1 @@
+"""Workload models: SPEC'95 uniprocessor proxies and SPLASH MP kernels."""

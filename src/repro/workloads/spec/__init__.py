@@ -1,0 +1,27 @@
+"""SPEC'95 + Synopsys workload proxy models (see DESIGN.md section 2)."""
+
+from repro.workloads.spec.model import (
+    InstructionMix,
+    PipelineCosts,
+    SpecProxy,
+)
+from repro.workloads.spec.profiles import (
+    ALL_NAMES,
+    PROXIES,
+    SPEC_FP_NAMES,
+    SPEC_INT_NAMES,
+    all_proxies,
+    get_proxy,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "InstructionMix",
+    "PROXIES",
+    "PipelineCosts",
+    "SPEC_FP_NAMES",
+    "SPEC_INT_NAMES",
+    "SpecProxy",
+    "all_proxies",
+    "get_proxy",
+]

@@ -1,0 +1,101 @@
+"""CHOLESKY: blocked Cholesky factorization (extension kernel).
+
+Not one of the paper's five Table 5 applications — SPLASH also shipped a
+Cholesky factorization, and it makes a useful sixth point for the MP
+study: like LU it is dense linear algebra with pivot-panel broadcast,
+but its triangular update touches only half the matrix, shifting the
+compute/communication balance.
+
+The factorization is real: ``verify`` checks ``L @ L.T`` against the
+original symmetric positive-definite matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.mp.layout import Layout
+from repro.mp.ops import Barrier, Compute, Op, Read, Write
+from repro.workloads.splash.base import SplashKernel
+
+WORD = 8
+
+
+class CholeskyKernel(SplashKernel):
+    name = "cholesky"
+    description = "Blocked Cholesky factorization (extension)"
+
+    def __init__(self, n: int = 48, block: int = 4, compute_cycles: int = 2,
+                 seed: int = 0) -> None:
+        if n % block:
+            raise ValueError("matrix size must be a multiple of the block size")
+        self.n = n
+        self.block = block
+        self.compute_cycles = compute_cycles
+        self.seed = seed
+        self.matrix: np.ndarray | None = None
+        self.original: np.ndarray | None = None
+
+    def _owner(self, col_block: int, num_procs: int) -> int:
+        return col_block % num_procs
+
+    def build(self, num_procs: int, layout: Layout):
+        n, block = self.n, self.block
+        rng = make_rng(self.seed)
+        base = rng.random((n, n))
+        spd = base @ base.T + n * np.eye(n)  # symmetric positive definite
+        self.original = spd.copy()
+        matrix = spd
+        self.matrix = matrix
+        col_base = [
+            layout.alloc(self._owner(jb, num_procs), n * block * WORD)
+            for jb in range(n // block)
+        ]
+
+        def addr(i: int, j: int) -> int:
+            jb, j_in = divmod(j, block)
+            return col_base[jb] + (j_in * n + i) * WORD
+
+        def kernel(pid: int, nprocs: int) -> Iterator[Op]:
+            barrier_id = 0
+            for k in range(n):
+                kb = k // block
+                if self._owner(kb, nprocs) == pid:
+                    # Factorize column k: sqrt of the pivot, scale below.
+                    yield Read(addr(k, k))
+                    pivot = math.sqrt(matrix[k, k])
+                    matrix[k, k] = pivot
+                    yield Compute(self.compute_cycles)
+                    yield Write(addr(k, k))
+                    for i in range(k + 1, n):
+                        yield Read(addr(i, k))
+                        matrix[i, k] = matrix[i, k] / pivot
+                        yield Compute(self.compute_cycles)
+                        yield Write(addr(i, k))
+                yield Barrier(barrier_id)
+                barrier_id += 1
+                # Triangular update: only columns j > k, rows i >= j.
+                for j in range(k + 1, n):
+                    if self._owner(j // block, nprocs) != pid:
+                        continue
+                    yield Read(addr(j, k))
+                    ljk = matrix[j, k]
+                    for i in range(j, n):
+                        yield Read(addr(i, k))
+                        yield Read(addr(i, j))
+                        matrix[i, j] = matrix[i, j] - matrix[i, k] * ljk
+                        yield Compute(self.compute_cycles)
+                        yield Write(addr(i, j))
+
+        return kernel
+
+    def verify(self, tolerance: float = 1e-6) -> bool:
+        """Check L @ L.T reproduces the original SPD matrix."""
+        if self.matrix is None or self.original is None:
+            raise RuntimeError("run the kernel before verifying")
+        lower = np.tril(self.matrix)
+        return bool(np.allclose(lower @ lower.T, self.original, atol=tolerance))

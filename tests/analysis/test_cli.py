@@ -1,0 +1,28 @@
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "figures13-17" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SparcStation-5" in out
+        assert "[table1:" in out
+
+    def test_run_with_trace_len(self, capsys):
+        assert main(["section5.6", "--trace-len", "15000"]) == 0
+        assert "bank-count" in capsys.readouterr().out
+
+    def test_figures_with_procs(self, capsys):
+        # Smallest possible MP sweep to keep the test quick.
+        assert main(["figure2", "--procs", "1"]) == 0
+        assert "Figure 2" in capsys.readouterr().out

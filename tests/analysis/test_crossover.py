@@ -1,0 +1,36 @@
+from repro.analysis import crossover
+
+
+class TestCrossover:
+    def test_structure_and_render(self):
+        exp = crossover(
+            benchmarks=("126.gcc",),
+            mem_latencies=(8, 24),
+            trace_len=20_000,
+            instructions=3_000,
+        )
+        assert exp.benchmarks == ["126.gcc"]
+        assert len(exp.conventional["126.gcc"]) == 2
+        assert "Crossover" in exp.render()
+
+    def test_conventional_cpi_monotone_in_latency(self):
+        exp = crossover(
+            benchmarks=("102.swim",),
+            mem_latencies=(8, 40),
+            trace_len=20_000,
+            instructions=3_000,
+        )
+        series = exp.conventional["102.swim"]
+        assert series[1] > series[0]
+
+    def test_integrated_wins_within_the_sweep(self):
+        """The paper's thesis: a conventional hierarchy needs unreachably
+        fast memory to match the integrated device."""
+        exp = crossover(
+            benchmarks=("126.gcc",),
+            mem_latencies=(8, 16, 24, 40),
+            trace_len=20_000,
+            instructions=3_000,
+        )
+        assert exp.crossover["126.gcc"] is not None
+        assert exp.crossover["126.gcc"] <= 24

@@ -1,0 +1,30 @@
+import pytest
+
+from repro.paperdata import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    spec_ratio_constant,
+)
+
+
+class TestPaperTables:
+    def test_eighteen_spec_benchmarks(self):
+        assert len(PAPER_TABLE3) == 18
+        assert len(PAPER_TABLE4) == 18
+        assert set(PAPER_TABLE3) == set(PAPER_TABLE4)
+
+    def test_victim_never_hurts_cpi(self):
+        # Table 4 totals are always <= Table 3 totals (victim helps or ties).
+        for name, row3 in PAPER_TABLE3.items():
+            row4 = PAPER_TABLE4[name]
+            assert row4.total_cpi <= row3.cpu_cpi + row3.memory_cpi + 1e-9, name
+
+    def test_swim_has_largest_memory_component(self):
+        worst = max(PAPER_TABLE3, key=lambda n: PAPER_TABLE3[n].memory_cpi)
+        assert worst == "102.swim"
+
+    def test_spec_ratio_constant_roundtrip(self):
+        for name, row in PAPER_TABLE4.items():
+            assert spec_ratio_constant(name) / row.total_cpi == pytest.approx(
+                row.spec_ratio
+            )

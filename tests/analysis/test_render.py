@@ -1,0 +1,29 @@
+from repro.analysis.render import ascii_table, percent, series_block
+
+
+class TestAsciiTable:
+    def test_basic_shape(self):
+        out = ascii_table(["a", "b"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in lines[2]
+        assert len(lines) == 4
+
+    def test_alignment_with_long_values(self):
+        out = ascii_table(["name"], [["very-long-benchmark-name"]])
+        assert "very-long-benchmark-name" in out
+
+
+class TestSeriesBlock:
+    def test_title_and_rows(self):
+        out = series_block("My Title", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]},
+                           x_label="n")
+        assert out.startswith("My Title")
+        assert "s1" in out and "s2" in out
+        assert "0.400" in out
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.1234) == "12.34%"
+        assert percent(0.0) == "0.00%"

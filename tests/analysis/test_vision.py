@@ -1,0 +1,52 @@
+import pytest
+
+from repro.analysis.vision import (
+    FramebufferBudget,
+    framebuffer_budget,
+    motherboard_budget,
+)
+from repro.common.errors import ConfigError
+
+
+class TestFramebuffer:
+    def test_default_display_is_feasible(self):
+        # Section 8: "a framebuffer that retrieves its data from main
+        # memory as it refreshes a screen ... is made feasible by the high
+        # memory bandwidth that is available internally."
+        budget = framebuffer_budget()
+        assert budget.feasible
+        assert budget.internal_fraction < 0.25
+
+    def test_bandwidth_math(self):
+        budget = framebuffer_budget(width=1000, height=1000,
+                                    bits_per_pixel=32, refresh_hz=100)
+        assert budget.bandwidth_gbytes == pytest.approx(0.4)
+
+    def test_absurd_display_is_infeasible(self):
+        budget = framebuffer_budget(width=8000, height=8000,
+                                    bits_per_pixel=32, refresh_hz=120)
+        assert not budget.feasible
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            framebuffer_budget(width=0)
+
+
+class TestMotherboard:
+    def test_bisection_scales_with_nodes(self):
+        small = motherboard_budget(4)
+        big = motherboard_budget(16)
+        assert big.bisection_gbytes == pytest.approx(4 * small.bisection_gbytes)
+
+    def test_memory_capacity(self):
+        # Each 256 Mbit device contributes 32 MB.
+        budget = motherboard_budget(32)
+        assert budget.memory_gbytes == pytest.approx(1.0)
+
+    def test_power_budget_is_modest(self):
+        # "Dwarfed by its modest heat-sink to cool some 1.5W".
+        assert motherboard_budget(16).power_watts == pytest.approx(24.0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigError):
+            motherboard_budget(0)

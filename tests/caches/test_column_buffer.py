@@ -1,0 +1,111 @@
+import pytest
+
+from repro.caches.column_buffer import (
+    ColumnBufferCache,
+    proposed_dcache,
+    proposed_icache,
+)
+from repro.caches.victim import VictimCache
+from repro.common.params import CacheGeometry
+from repro.common.units import KB
+from repro.trace.stream import ReferenceTrace
+
+
+class TestGeometry:
+    def test_proposed_icache_shape(self):
+        cache = proposed_icache()
+        assert cache.geometry.size_bytes == 8 * KB
+        assert cache.geometry.line_bytes == 512
+        assert cache.geometry.ways == 1
+
+    def test_proposed_dcache_shape(self):
+        cache = proposed_dcache()
+        assert cache.geometry.size_bytes == 16 * KB
+        assert cache.geometry.ways == 2
+        assert cache.victim is not None
+
+    def test_dcache_without_victim(self):
+        assert proposed_dcache(with_victim=False).victim is None
+
+
+class TestLongLinePrefetch:
+    def test_one_miss_covers_whole_column(self):
+        cache = proposed_icache()
+        assert not cache.access(0)
+        # All 128 remaining words of the 512 B line hit.
+        for offset in range(4, 512, 4):
+            assert cache.access(offset)
+        assert cache.stats.misses == 1
+
+    def test_sequential_code_miss_rate_is_one_per_line(self):
+        cache = proposed_icache()
+        trace = ReferenceTrace.reads(range(0, 8 * KB, 4))
+        stats = cache.run(trace)
+        assert stats.misses == 16  # one per 512 B line
+        assert stats.miss_rate == pytest.approx(16 / 2048)
+
+
+class TestVictimCoupling:
+    def test_eviction_captures_last_accessed_subblock(self):
+        victim = VictimCache()
+        cache = ColumnBufferCache(CacheGeometry(8 * KB, 512, 1), victim=victim)
+        cache.access(0x000)
+        cache.access(0x0A4)  # last accessed sub-block is 0x0A0
+        cache.access(0x000 + 8 * KB)  # evicts line 0
+        assert victim.contains(0x0A0)
+        assert not victim.contains(0x000)
+
+    def test_victim_hit_counts_as_hit_without_refill(self):
+        victim = VictimCache()
+        cache = ColumnBufferCache(CacheGeometry(8 * KB, 512, 1), victim=victim)
+        cache.access(0)
+        cache.access(8 * KB)  # evict line 0, victim holds block 0
+        hit = cache.access(0)  # served by victim
+        assert hit
+        assert cache.victim_hits == 1
+        assert not cache.contains(0)  # not reloaded into a column buffer
+
+    def test_victim_miss_still_loads_column(self):
+        victim = VictimCache()
+        cache = ColumnBufferCache(CacheGeometry(8 * KB, 512, 1), victim=victim)
+        cache.access(0)
+        cache.access(8 * KB)
+        cache.access(0x40)  # block 0x40 not in victim (only block 0 is)
+        assert cache.contains(0x40)
+
+    def test_conflict_pattern_absorbed_by_victim(self):
+        """Two aliasing hot words thrash a direct-mapped column cache but
+        hit in the victim cache (the Section 5.4 effect)."""
+        plain = ColumnBufferCache(CacheGeometry(8 * KB, 512, 1))
+        with_victim = ColumnBufferCache(
+            CacheGeometry(8 * KB, 512, 1), victim=VictimCache()
+        )
+        for _ in range(50):
+            for addr in (0, 8 * KB):
+                plain.access(addr)
+                with_victim.access(addr)
+        assert plain.stats.miss_rate > 0.9
+        assert with_victim.stats.miss_rate < 0.1
+
+
+class TestStatsAndReset:
+    def test_main_plus_victim_plus_miss_partition(self):
+        cache = proposed_dcache()
+        trace = ReferenceTrace.reads([0, 8 * KB, 16 * KB, 0, 512, 8 * KB])
+        cache.run(trace)
+        assert cache.main_hits + cache.victim_hits + cache.stats.misses == len(trace)
+
+    def test_reset_clears_victim_too(self):
+        cache = proposed_dcache()
+        cache.access(0)
+        cache.access(8 * KB)
+        cache.access(16 * KB)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.victim.probes == 0
+        assert not cache.contains(0)
+
+    def test_resident_lines_report_addresses(self):
+        cache = proposed_icache()
+        cache.access(0x200)
+        assert cache.resident_lines() == [0x200]

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.fast import (
+    direct_mapped_miss_flags,
+    direct_mapped_miss_rate,
+    set_assoc_miss_rate,
+    two_way_lru_miss_flags,
+)
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.common.params import CacheGeometry
+from repro.common.units import KB
+
+
+def _reference_flags(addresses, geometry):
+    cache = SetAssociativeCache(geometry)
+    return [not cache.access(addr) for addr in addresses]
+
+
+class TestDirectMappedFast:
+    def test_empty_trace(self):
+        geom = CacheGeometry(8 * KB, 32, 1)
+        assert direct_mapped_miss_flags(np.zeros(0, dtype=np.int64), geom).size == 0
+        assert direct_mapped_miss_rate(np.zeros(0, dtype=np.int64), geom) == 0.0
+
+    def test_simple_conflict(self):
+        geom = CacheGeometry(8 * KB, 32, 1)
+        addrs = np.array([0, 8 * KB, 0], dtype=np.int64)
+        assert direct_mapped_miss_flags(addrs, geom).tolist() == [True, True, True]
+
+    def test_rejects_wrong_associativity(self):
+        with pytest.raises(ValueError):
+            direct_mapped_miss_flags(
+                np.array([0], dtype=np.int64), CacheGeometry(8 * KB, 32, 2)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=400))
+    def test_matches_reference_simulator(self, addrs):
+        geom = CacheGeometry(2 * KB, 32, 1)
+        arr = np.asarray(addrs, dtype=np.int64)
+        fast = direct_mapped_miss_flags(arr, geom).tolist()
+        assert fast == _reference_flags(addrs, geom)
+
+
+class TestTwoWayFast:
+    def test_two_aliases_coexist(self):
+        geom = CacheGeometry(16 * KB, 512, 2)
+        addrs = np.array([0, 8 * KB, 0, 8 * KB], dtype=np.int64)
+        assert two_way_lru_miss_flags(addrs, geom).tolist() == [
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_rejects_wrong_associativity(self):
+        with pytest.raises(ValueError):
+            two_way_lru_miss_flags(
+                np.array([0], dtype=np.int64), CacheGeometry(8 * KB, 32, 1)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=400))
+    def test_matches_reference_simulator(self, addrs):
+        geom = CacheGeometry(4 * KB, 32, 2)
+        arr = np.asarray(addrs, dtype=np.int64)
+        fast = two_way_lru_miss_flags(arr, geom).tolist()
+        assert fast == _reference_flags(addrs, geom)
+
+
+class TestDispatch:
+    @settings(max_examples=20, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    def test_four_way_fallback_matches_reference(self, addrs):
+        geom = CacheGeometry(4 * KB, 32, 4)
+        rate = set_assoc_miss_rate(np.asarray(addrs, dtype=np.int64), geom)
+        flags = _reference_flags(addrs, geom)
+        assert rate == pytest.approx(sum(flags) / len(flags))

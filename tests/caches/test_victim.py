@@ -1,0 +1,78 @@
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.victim import VictimCache
+from repro.common.params import VictimCacheParams
+
+
+class TestVictimCache:
+    def test_probe_miss_on_empty(self):
+        victim = VictimCache()
+        assert not victim.probe(0x100)
+        assert victim.probes == 1
+        assert victim.hits == 0
+
+    def test_insert_then_probe_hits_whole_block(self):
+        victim = VictimCache()
+        victim.insert(0x47)  # block 0x40..0x5F
+        assert victim.probe(0x5F)
+        assert not victim.probe(0x60)
+
+    def test_capacity_is_sixteen_blocks(self):
+        victim = VictimCache()
+        for i in range(17):
+            victim.insert(i * 32)
+        assert not victim.contains(0)  # block 0 was LRU
+        assert victim.contains(16 * 32)
+        assert len(victim.resident_blocks()) == 16
+
+    def test_probe_hit_promotes(self):
+        victim = VictimCache(VictimCacheParams(entries=2))
+        victim.insert(0)
+        victim.insert(32)
+        victim.probe(0)  # promote block 0
+        victim.insert(64)  # evicts 32
+        assert victim.contains(0)
+        assert not victim.contains(32)
+
+    def test_reinsert_does_not_duplicate(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.insert(0)
+        assert victim.resident_blocks().count(0) == 1
+
+    def test_hit_rate(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0)
+        victim.probe(32)
+        assert victim.hit_rate == 0.5
+
+    def test_reset(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0)
+        victim.reset()
+        assert victim.probes == 0
+        assert not victim.contains(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 1 << 12)), max_size=200))
+def test_never_exceeds_capacity(ops):
+    victim = VictimCache()
+    for is_insert, addr in ops:
+        if is_insert:
+            victim.insert(addr)
+        else:
+            victim.probe(addr)
+        assert len(victim.resident_blocks()) <= victim.params.entries
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(0, 1 << 12), min_size=1, max_size=100))
+def test_blocks_are_aligned(addrs):
+    victim = VictimCache()
+    for addr in addrs:
+        victim.insert(addr)
+    assert all(block % 32 == 0 for block in victim.resident_blocks())

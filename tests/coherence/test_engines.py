@@ -1,0 +1,58 @@
+import pytest
+
+from repro.coherence.engines import DEFAULT_SERVICE_CYCLES, engine_report
+from repro.common.errors import ConfigError
+from repro.interconnect.fabric import FabricStats, MessageType
+
+
+def _stats(**counts) -> FabricStats:
+    stats = FabricStats()
+    for name, count in counts.items():
+        stats.record(MessageType[name.upper()], count)
+    return stats
+
+
+class TestEngineReport:
+    def test_idle_run(self):
+        report = engine_report(FabricStats(), elapsed_cycles=1000, num_nodes=4)
+        assert report.outbound_occupancy == 0.0
+        assert report.inbound_occupancy == 0.0
+        assert not report.saturated
+
+    def test_occupancy_scales_with_traffic(self):
+        light = engine_report(_stats(read_request=10, read_reply=10),
+                              elapsed_cycles=10_000, num_nodes=2)
+        heavy = engine_report(_stats(read_request=1000, read_reply=1000),
+                              elapsed_cycles=10_000, num_nodes=2)
+        assert heavy.outbound_occupancy > light.outbound_occupancy
+
+    def test_saturation_detected(self):
+        report = engine_report(
+            _stats(read_request=10_000, read_reply=10_000),
+            elapsed_cycles=10_000,
+            num_nodes=1,
+        )
+        assert report.saturated
+        assert report.outbound_occupancy == 1.0  # clamped
+
+    def test_table6_traffic_levels_leave_engines_unsaturated(self):
+        """The Table 6 latencies assume the engines never queue; a typical
+        SPLASH run's traffic should keep occupancy low."""
+        from repro.mp.system import MPSystem, SystemKind
+        from repro.mp.engine import MPEngine
+        from repro.workloads.splash import OceanKernel
+
+        kernel = OceanKernel(n=18, iterations=3)
+        system = MPSystem(4, SystemKind.INTEGRATED)
+        result = MPEngine(system).run(kernel.build(4, system.layout))
+        report = engine_report(
+            system.fabric.stats, result.execution_time, system.num_nodes
+        )
+        assert not report.saturated
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            engine_report(FabricStats(), elapsed_cycles=0, num_nodes=2)
+
+    def test_all_message_types_priced(self):
+        assert set(DEFAULT_SERVICE_CYCLES) == set(MessageType)

@@ -1,0 +1,135 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.coherence.protocol import BlockEntry, BlockState, Directory
+
+
+class TestBlockEntry:
+    def test_default_is_unowned(self):
+        entry = BlockEntry()
+        entry.check()
+        assert entry.state is BlockState.UNOWNED
+
+    def test_invariant_violations_detected(self):
+        with pytest.raises(ProtocolError):
+            BlockEntry(state=BlockState.UNOWNED, sharers={1}).check()
+        with pytest.raises(ProtocolError):
+            BlockEntry(state=BlockState.SHARED, sharers=set()).check()
+        with pytest.raises(ProtocolError):
+            BlockEntry(state=BlockState.EXCLUSIVE, owner=None).check()
+        with pytest.raises(ProtocolError):
+            BlockEntry(state=BlockState.EXCLUSIVE, owner=1, sharers={2}).check()
+
+
+class TestDirectoryTransitions:
+    def test_remote_read_adds_sharer(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=2, home=0)
+        entry = directory.entry(0x100)
+        assert entry.state is BlockState.SHARED
+        assert entry.sharers == {2}
+
+    def test_home_read_leaves_unowned(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=0, home=0)
+        assert directory.entry(0x100).state is BlockState.UNOWNED
+
+    def test_remote_write_takes_exclusive(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=1, home=0)
+        directory.record_read(0x100, requester=2, home=0)
+        victims = directory.record_write(0x100, requester=3, home=0)
+        assert victims == {1, 2}
+        entry = directory.entry(0x100)
+        assert entry.state is BlockState.EXCLUSIVE
+        assert entry.owner == 3
+
+    def test_home_write_invalidates_and_returns_to_memory(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=1, home=0)
+        victims = directory.record_write(0x100, requester=0, home=0)
+        assert victims == {1}
+        assert directory.entry(0x100).state is BlockState.UNOWNED
+
+    def test_read_of_exclusive_block_recalls(self):
+        directory = Directory()
+        directory.record_write(0x100, requester=1, home=0)
+        directory.record_read(0x100, requester=2, home=0)
+        entry = directory.entry(0x100)
+        assert entry.state is BlockState.SHARED
+        assert entry.sharers == {1, 2}
+        assert directory.stats.recalls == 1
+        assert directory.stats.writebacks == 1
+
+    def test_owner_rewrite_has_no_victims(self):
+        directory = Directory()
+        directory.record_write(0x100, requester=1, home=0)
+        assert directory.record_write(0x100, requester=1, home=0) == set()
+
+    def test_eviction_of_shared_copy(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=1, home=0)
+        directory.record_read(0x100, requester=2, home=0)
+        directory.record_eviction(0x100, node=1)
+        assert directory.entry(0x100).sharers == {2}
+        directory.record_eviction(0x100, node=2)
+        assert directory.entry(0x100).state is BlockState.UNOWNED
+
+    def test_eviction_of_exclusive_writes_back(self):
+        directory = Directory()
+        directory.record_write(0x100, requester=1, home=0)
+        directory.record_eviction(0x100, node=1)
+        assert directory.entry(0x100).state is BlockState.UNOWNED
+        assert directory.stats.writebacks == 1
+
+    def test_block_granularity_is_32_bytes(self):
+        directory = Directory()
+        directory.record_read(0x100, requester=1, home=0)
+        assert directory.entry(0x11F).sharers == {1}
+        assert directory.entry(0x120).sharers == set()
+
+    def test_helper_predicates(self):
+        directory = Directory()
+        directory.record_write(0x100, requester=1, home=0)
+        assert directory.is_remote_exclusive(0x100, node=0)
+        assert not directory.is_remote_exclusive(0x100, node=1)
+        assert directory.is_owner(0x100, node=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),  # write?
+            st.integers(0, 3),  # requester
+            st.sampled_from([0x0, 0x20, 0x40]),  # block
+        ),
+        max_size=60,
+    )
+)
+def test_single_writer_multiple_readers_invariant(ops):
+    """After every operation the directory satisfies SWMR, and the
+    entry invariants hold (check() raises otherwise)."""
+    directory = Directory()
+    holders: dict[int, set[int]] = {}  # block -> nodes with valid copies
+    for write, requester, block in ops:
+        home = 0
+        if write:
+            victims = directory.record_write(block, requester, home)
+            held = holders.setdefault(block, set())
+            held -= victims
+            held.discard(requester)
+            if requester != home:
+                held.add(requester)
+            # Writer is the only remote copy-holder after a write.
+            assert held <= {requester}
+        else:
+            directory.record_read(block, requester, home)
+            if requester != home:
+                holders.setdefault(block, set()).add(requester)
+        entry = directory.entry(block)
+        entry.check()
+        if entry.state is BlockState.EXCLUSIVE:
+            assert len(entry.sharers) == 0

@@ -1,0 +1,130 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    COHERENCE_UNIT_BYTES,
+    DIRECTORY_BITS_PER_BLOCK,
+    INC_WAYS,
+    CacheGeometry,
+    ConventionalSystemParams,
+    DRAMTiming,
+    IntegratedDeviceParams,
+    MPLatencies,
+    PipelineParams,
+    VictimCacheParams,
+)
+from repro.common.units import KB
+
+
+class TestCacheGeometry:
+    def test_direct_mapped_sets(self):
+        geom = CacheGeometry(8 * KB, 32, 1)
+        assert geom.num_lines == 256
+        assert geom.num_sets == 256
+        assert geom.ways == 1
+
+    def test_two_way(self):
+        geom = CacheGeometry(16 * KB, 512, 2)
+        assert geom.num_lines == 32
+        assert geom.num_sets == 16
+        assert geom.ways == 2
+
+    def test_fully_associative(self):
+        geom = CacheGeometry(512, 32, 0)
+        assert geom.ways == 16
+        assert geom.num_sets == 1
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(8 * KB, 48, 1)
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 32, 1)
+
+    def test_rejects_negative_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(8 * KB, 32, -1)
+
+
+class TestIntegratedDeviceParams:
+    def test_paper_icache_is_8kb_direct_mapped_512b_lines(self):
+        geom = IntegratedDeviceParams().icache_geometry
+        assert geom.size_bytes == 8 * KB
+        assert geom.line_bytes == 512
+        assert geom.ways == 1
+        assert geom.num_sets == 16
+
+    def test_paper_dcache_is_16kb_2way_512b_lines(self):
+        geom = IntegratedDeviceParams().dcache_geometry
+        assert geom.size_bytes == 16 * KB
+        assert geom.line_bytes == 512
+        assert geom.ways == 2
+        assert geom.num_sets == 16
+
+    def test_internal_bandwidth_is_1_6_gbytes(self):
+        # Each 64-bit datapath at 200 MHz gives 1.6 GB/s (Section 4.1).
+        assert IntegratedDeviceParams().internal_bandwidth_gbytes == pytest.approx(1.6)
+
+    def test_dram_access_is_six_cycles(self):
+        assert IntegratedDeviceParams().dram.access_cycles == 6
+
+    def test_victim_cache_is_one_column(self):
+        params = IntegratedDeviceParams()
+        assert params.victim.size_bytes == params.column_bytes
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ConfigError):
+            IntegratedDeviceParams(num_banks=12)
+
+
+class TestMPLatencies:
+    def test_table6_defaults(self):
+        lat = MPLatencies()
+        assert lat.cache_hit == 1
+        assert lat.victim_hit == 1
+        assert lat.local_memory == 6
+        assert lat.invalidation_round_trip == 80
+        assert lat.remote_load == 80
+        assert lat.flc_hit == 1
+        assert lat.slc_hit == 6
+
+    def test_inc_access_includes_tag_check(self):
+        lat = MPLatencies()
+        assert lat.inc_access == lat.local_memory + lat.inc_tag_check
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigError):
+            MPLatencies(local_memory=0)
+
+
+class TestOtherParams:
+    def test_coherence_unit(self):
+        assert COHERENCE_UNIT_BYTES == 32
+
+    def test_inc_ways(self):
+        assert INC_WAYS == 7
+
+    def test_directory_bits(self):
+        assert DIRECTORY_BITS_PER_BLOCK == 14
+
+    def test_pipeline_cycle_time(self):
+        assert PipelineParams().cycle_ns == pytest.approx(5.0)
+
+    def test_pipeline_rejects_superscalar(self):
+        with pytest.raises(ConfigError):
+            PipelineParams(issue_width=4)
+
+    def test_dram_timing_rejects_zero_access(self):
+        with pytest.raises(ConfigError):
+            DRAMTiming(access_cycles=0)
+
+    def test_conventional_defaults(self):
+        params = ConventionalSystemParams()
+        assert params.l1i.size_bytes == 16 * KB
+        assert params.l2.size_bytes == 256 * KB
+        assert params.memory_banks == 2
+
+    def test_victim_params_reject_zero_entries(self):
+        with pytest.raises(ConfigError):
+            VictimCacheParams(entries=0)

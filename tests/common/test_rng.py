@@ -1,0 +1,32 @@
+from repro.common.rng import make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1 << 30, size=8)
+        draws_b = make_rng(2).integers(0, 1 << 30, size=8)
+        assert list(draws_a) != list(draws_b)
+
+    def test_default_seed_is_stable(self):
+        assert make_rng().integers(0, 1 << 30) == make_rng().integers(0, 1 << 30)
+
+
+class TestSplitRng:
+    def test_children_with_same_label_match(self):
+        a = split_rng(make_rng(7), "caches")
+        b = split_rng(make_rng(7), "caches")
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_children_with_different_labels_differ(self):
+        parent = make_rng(7)
+        a = split_rng(parent, "caches")
+        parent2 = make_rng(7)
+        b = split_rng(parent2, "dram")
+        assert list(a.integers(0, 1 << 30, size=8)) != list(
+            b.integers(0, 1 << 30, size=8)
+        )

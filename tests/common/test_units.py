@@ -1,0 +1,55 @@
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    cycles_for_time,
+    is_power_of_two,
+    log2_int,
+    time_for_cycles,
+)
+
+
+class TestSizeConstants:
+    def test_kb(self):
+        assert KB == 1024
+
+    def test_mb(self):
+        assert MB == 1024 * 1024
+
+    def test_gb(self):
+        assert GB == 1024**3
+
+
+class TestCyclesForTime:
+    def test_exact_cycles(self):
+        # 30 ns on a 200 MHz clock is exactly 6 cycles (the paper's DRAM access).
+        assert cycles_for_time(30e-9, 200e6) == 6
+
+    def test_rounds_up(self):
+        assert cycles_for_time(31e-9, 200e6) == 7
+
+    def test_zero(self):
+        assert cycles_for_time(0.0, 200e6) == 0
+
+    def test_roundtrip(self):
+        assert time_for_cycles(6, 200e6) == pytest.approx(30e-9)
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for v in (0, -1, 3, 6, 12, 1000):
+            assert not is_power_of_two(v)
+
+    def test_log2_int(self):
+        assert log2_int(512) == 9
+        assert log2_int(1) == 0
+
+    def test_log2_int_rejects(self):
+        with pytest.raises(ValueError):
+            log2_int(48)

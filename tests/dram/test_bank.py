@@ -1,0 +1,48 @@
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.params import DRAMTiming
+from repro.dram.bank import DRAMBank
+
+
+class TestBankTiming:
+    def test_idle_access_takes_access_cycles(self):
+        bank = DRAMBank(DRAMTiming(access_cycles=6, precharge_cycles=4))
+        result = bank.access(cycle=10, row=3)
+        assert result.start_cycle == 10
+        assert result.data_ready_cycle == 16
+        assert result.bank_free_cycle == 20
+        assert result.queued_cycles == 0
+
+    def test_back_to_back_accesses_queue_behind_precharge(self):
+        bank = DRAMBank(DRAMTiming(access_cycles=6, precharge_cycles=4))
+        bank.access(cycle=0, row=0)
+        result = bank.access(cycle=2, row=1)
+        assert result.start_cycle == 10  # waits for precharge to finish
+        assert result.queued_cycles == 8
+
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(SimulationError):
+            DRAMBank().access(cycle=-1, row=0)
+
+    def test_open_row_tracking(self):
+        bank = DRAMBank()
+        bank.access(cycle=0, row=7, buffer_slot=1)
+        assert bank.row_in_buffer(7)
+        assert not bank.row_in_buffer(8)
+        bank.access(cycle=100, row=8, buffer_slot=1)
+        assert not bank.row_in_buffer(7)  # slot 1 was replaced
+
+    def test_utilization(self):
+        bank = DRAMBank(DRAMTiming(access_cycles=6, precharge_cycles=4))
+        bank.access(cycle=0, row=0)
+        assert bank.utilization(100) == pytest.approx(0.1)
+        assert bank.utilization(0) == 0.0
+
+    def test_reset(self):
+        bank = DRAMBank()
+        bank.access(cycle=0, row=0)
+        bank.reset()
+        assert bank.busy_until == 0
+        assert bank.accesses == 0
+        assert not bank.row_in_buffer(0)

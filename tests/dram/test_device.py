@@ -1,0 +1,69 @@
+import pytest
+
+from repro.common.params import IntegratedDeviceParams
+from repro.dram.device import DRAMDevice
+
+
+class TestAddressMapping:
+    def test_consecutive_columns_hit_consecutive_banks(self):
+        device = DRAMDevice()
+        assert [device.bank_index(i * 512) for i in range(17)] == list(range(16)) + [0]
+
+    def test_row_within_bank(self):
+        device = DRAMDevice()
+        # Addresses one full bank-stripe apart map to the same bank, next row.
+        stripe = 512 * 16
+        assert device.bank_index(0) == device.bank_index(stripe)
+        assert device.row_of(stripe) == device.row_of(0) + 1
+
+
+class TestDeviceAccess:
+    def test_parallel_banks_do_not_contend(self):
+        device = DRAMDevice()
+        first = device.access(cycle=0, addr=0)
+        second = device.access(cycle=0, addr=512)  # different bank
+        assert first.queued_cycles == 0
+        assert second.queued_cycles == 0
+
+    def test_same_bank_contends(self):
+        device = DRAMDevice()
+        device.access(cycle=0, addr=0)
+        result = device.access(cycle=0, addr=512 * 16)  # same bank, next row
+        assert result.queued_cycles > 0
+        assert device.stats.mean_queue_cycles > 0
+
+    def test_fewer_banks_increase_contention(self):
+        refs = [(i % 32) * 512 for i in range(64)]
+        queued = {}
+        for banks in (4, 16):
+            device = DRAMDevice(IntegratedDeviceParams(num_banks=banks))
+            cycle = 0
+            for addr in refs:
+                result = device.access(cycle, addr)
+                cycle += 2
+            queued[banks] = device.stats.total_queued_cycles
+        assert queued[4] > queued[16]
+
+
+class TestSpeculativeWriteback:
+    def test_idle_bank_absorbs_writeback(self):
+        device = DRAMDevice()
+        assert device.try_speculative_writeback(cycle=0, addr=0)
+        assert device.stats.speculative_writebacks == 1
+
+    def test_busy_bank_blocks_writeback(self):
+        device = DRAMDevice()
+        device.access(cycle=0, addr=0)
+        assert not device.try_speculative_writeback(cycle=1, addr=512 * 16)
+        assert device.stats.blocked_writebacks == 1
+
+    def test_utilizations_and_reset(self):
+        device = DRAMDevice()
+        device.access(cycle=0, addr=0)
+        utils = device.utilizations(100)
+        assert len(utils) == 16
+        assert utils[0] > 0.0
+        assert sum(utils[1:]) == 0.0
+        device.reset()
+        assert device.stats.accesses == 0
+        assert sum(device.utilizations(100)) == 0.0

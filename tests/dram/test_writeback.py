@@ -1,0 +1,52 @@
+"""Speculative-writeback study tests (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.writeback import writeback_study
+from repro.trace.stream import ReferenceTrace
+
+
+def _dirty_thrash_trace(lines: int = 200, reps: int = 10) -> ReferenceTrace:
+    """Writes that alias in the column cache, forcing dirty evictions."""
+    addrs = []
+    writes = []
+    for rep in range(reps):
+        for i in range(lines):
+            # Three-way aliasing in the 16-set 2-way cache: 8 KB steps.
+            addrs.append((i % 3) * 8192 + (i % 16) * 512)
+            writes.append(True)
+    return ReferenceTrace(np.asarray(addrs, dtype=np.int64),
+                          np.asarray(writes, dtype=bool))
+
+
+class TestWritebackStudy:
+    def test_policies_agree_on_miss_counts(self):
+        trace = _dirty_thrash_trace()
+        conv = writeback_study(trace, speculative=False, with_victim=False)
+        spec = writeback_study(trace, speculative=True, with_victim=False)
+        assert conv.misses == spec.misses
+        assert conv.dirty_evictions == spec.dirty_evictions > 0
+
+    def test_speculative_never_slower(self):
+        trace = _dirty_thrash_trace()
+        conv = writeback_study(trace, speculative=False, with_victim=False)
+        spec = writeback_study(trace, speculative=True, with_victim=False)
+        assert spec.mean_miss_cycles <= conv.mean_miss_cycles
+
+    def test_conventional_pays_serialized_writebacks(self):
+        trace = _dirty_thrash_trace()
+        conv = writeback_study(trace, speculative=False, with_victim=False)
+        assert conv.serialized_writebacks == conv.dirty_evictions
+        assert conv.hidden_fraction == 0.0
+
+    def test_speculative_hides_most_writebacks(self):
+        trace = _dirty_thrash_trace()
+        spec = writeback_study(trace, speculative=True, with_victim=False)
+        assert spec.hidden_fraction > 0.8
+
+    def test_clean_trace_has_no_writebacks(self):
+        trace = ReferenceTrace.reads([i * 512 for i in range(64)])
+        result = writeback_study(trace, speculative=False, with_victim=False)
+        assert result.dirty_evictions == 0
+        assert result.mean_miss_cycles > 0

@@ -1,0 +1,71 @@
+"""Analytic (M/D/1) vs Monte-Carlo cross-validation of the bank model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.gspn.analytic import bank_contention_estimate, membank_prediction
+from repro.gspn.models import build_membank_net
+from repro.gspn.sim import GSPNSimulator
+
+
+class TestClosedForms:
+    def test_utilization(self):
+        pred = membank_prediction(6, 4, 0.02, 0.02)
+        assert pred.utilization == pytest.approx(0.4)
+
+    def test_mean_wait_formula(self):
+        # rho=0.4, D=10: W = 0.4*10 / (2*0.6) = 3.333...
+        pred = membank_prediction(6, 4, 0.02, 0.02)
+        assert pred.mean_wait_cycles == pytest.approx(10.0 / 3.0)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ConfigError):
+            membank_prediction(6, 4, 0.06, 0.06)  # rho = 1.2
+
+    def test_bank_contention_scales_inversely_with_banks(self):
+        two = bank_contention_estimate(0.02, num_banks=2)
+        sixteen = bank_contention_estimate(0.02, num_banks=16)
+        assert two.utilization == pytest.approx(8 * sixteen.utilization)
+
+    def test_paper_like_utilizations_are_tiny(self):
+        # gcc-class miss traffic: the per-bank load explains why Section
+        # 5.6 finds bank count irrelevant to CPI.
+        sixteen = bank_contention_estimate(0.004, num_banks=16)
+        assert sixteen.utilization < 0.01
+        assert sixteen.mean_wait_cycles < 0.05
+
+
+class TestMonteCarloAgreement:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        rates=st.tuples(
+            st.sampled_from([0.01, 0.02, 0.03]),
+            st.sampled_from([0.01, 0.02, 0.03]),
+        )
+    )
+    def test_throughput_matches(self, rates):
+        ifetch_rate, data_rate = rates
+        net = build_membank_net(6, 4, ifetch_rate, data_rate)
+        sim = GSPNSimulator(net, make_rng(42))
+        result = sim.run(max_time=60_000)
+        served = result.firings.get("T1_iaccess", 0) + result.firings.get(
+            "T3_daccess", 0
+        )
+        predicted = membank_prediction(6, 4, ifetch_rate, data_rate)
+        assert served / result.time == pytest.approx(
+            predicted.throughput, rel=0.08
+        )
+
+    def test_busy_fraction_matches_analytic_utilization(self):
+        pred = membank_prediction(6, 4, 0.025, 0.025)
+        net = build_membank_net(6, 4, 0.025, 0.025)
+        sim = GSPNSimulator(net, make_rng(7))
+        result = sim.run(max_time=80_000)
+        served = result.firings.get("T1_iaccess", 0) + result.firings.get(
+            "T3_daccess", 0
+        )
+        busy = served * 10 / result.time
+        assert busy == pytest.approx(pred.utilization, rel=0.08)

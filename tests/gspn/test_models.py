@@ -1,0 +1,161 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.gspn.models import (
+    ISSUE_TRANSITION,
+    MemoryPathProbs,
+    ProcessorNetParams,
+    bank_ready_place,
+    build_membank_net,
+    build_processor_net,
+)
+from repro.gspn.sim import GSPNSimulator
+
+
+def _cpi(params: ProcessorNetParams, instructions: int = 8000, seed: int = 0) -> float:
+    net = build_processor_net(params)
+    sim = GSPNSimulator(net, make_rng(seed))
+    result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=instructions)
+    return result.time / result.firings[ISSUE_TRANSITION]
+
+
+ALL_HIT = ProcessorNetParams(
+    ifetch=MemoryPathProbs(1.0),
+    load=MemoryPathProbs(1.0),
+    store=MemoryPathProbs(1.0),
+)
+
+
+class TestMemoryPathProbs:
+    def test_mem_is_remainder(self):
+        probs = MemoryPathProbs(0.9, 0.06)
+        assert probs.mem == pytest.approx(0.04)
+
+    def test_rejects_sum_over_one(self):
+        with pytest.raises(ConfigError):
+            MemoryPathProbs(0.9, 0.2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            MemoryPathProbs(-0.1)
+
+
+class TestParamValidation:
+    def test_rejects_l2_probs_without_l2(self):
+        with pytest.raises(ConfigError):
+            ProcessorNetParams(ifetch=MemoryPathProbs(0.9, 0.1), has_l2=False)
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ConfigError):
+            ProcessorNetParams(p_load=0.7, p_store=0.5)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigError):
+            ProcessorNetParams(num_banks=0)
+
+    def test_rejects_negative_scoreboard_rate(self):
+        with pytest.raises(ConfigError):
+            ProcessorNetParams(scoreboard_rate=0.0)
+
+
+class TestProcessorModel:
+    def test_all_hit_cpi_is_one(self):
+        assert _cpi(ALL_HIT, instructions=3000) == pytest.approx(1.0)
+
+    def test_misses_raise_cpi(self):
+        missing = ProcessorNetParams(
+            ifetch=MemoryPathProbs(0.99),
+            load=MemoryPathProbs(0.90),
+            store=MemoryPathProbs(0.90),
+        )
+        assert _cpi(missing) > 1.05
+
+    def test_cpi_increases_with_memory_latency(self):
+        base = dict(
+            ifetch=MemoryPathProbs(0.99),
+            load=MemoryPathProbs(0.92),
+            store=MemoryPathProbs(0.92),
+        )
+        fast = _cpi(ProcessorNetParams(mem_access=6, **base))
+        slow = _cpi(ProcessorNetParams(mem_access=30, **base))
+        assert slow > fast * 1.2
+
+    def test_scoreboard_hides_part_of_the_latency(self):
+        base = dict(
+            ifetch=MemoryPathProbs(1.0),
+            load=MemoryPathProbs(0.85),
+            store=MemoryPathProbs(1.0),
+        )
+        with_sb = _cpi(ProcessorNetParams(scoreboard_rate=1.0, **base), seed=3)
+        without_sb = _cpi(ProcessorNetParams(scoreboard_rate=None, **base), seed=3)
+        assert with_sb < without_sb
+
+    def test_conventional_l2_path_cheaper_than_memory(self):
+        l2_heavy = ProcessorNetParams(
+            has_l2=True,
+            num_banks=2,
+            mem_access=24,
+            ifetch=MemoryPathProbs(0.99, 0.01),
+            load=MemoryPathProbs(0.90, 0.10),
+            store=MemoryPathProbs(0.90, 0.10),
+        )
+        mem_heavy = ProcessorNetParams(
+            has_l2=True,
+            num_banks=2,
+            mem_access=24,
+            ifetch=MemoryPathProbs(0.99, 0.01),
+            load=MemoryPathProbs(0.90, 0.0),
+            store=MemoryPathProbs(0.90, 0.0),
+        )
+        assert _cpi(l2_heavy) < _cpi(mem_heavy)
+
+    def test_pure_compute_mix(self):
+        compute_only = ProcessorNetParams(
+            p_load=0.0,
+            p_store=0.0,
+            ifetch=MemoryPathProbs(1.0),
+            load=MemoryPathProbs(1.0),
+            store=MemoryPathProbs(1.0),
+        )
+        assert _cpi(compute_only, instructions=2000) == pytest.approx(1.0)
+
+    def test_more_banks_do_not_hurt(self):
+        base = dict(
+            ifetch=MemoryPathProbs(0.97),
+            load=MemoryPathProbs(0.90),
+            store=MemoryPathProbs(0.90),
+        )
+        few = _cpi(ProcessorNetParams(num_banks=4, **base), instructions=6000)
+        many = _cpi(ProcessorNetParams(num_banks=16, **base), instructions=6000)
+        # Section 5.6: differences are small; many banks never slower by much.
+        assert many <= few * 1.05
+
+
+class TestMembankModel:
+    def test_net_builds_and_runs(self):
+        net = build_membank_net(access=6, precharge=4, ifetch_rate=0.02, data_rate=0.02)
+        sim = GSPNSimulator(net, make_rng(0), track_places=("precharge",))
+        result = sim.run(max_time=20_000)
+        served = result.firings.get("T1_iaccess", 0) + result.firings.get(
+            "T3_daccess", 0
+        )
+        assert served > 0
+        # Precharge occupancy = arrival rate x precharge time = 0.04 x 4.
+        assert result.mean_marking["precharge"] == pytest.approx(0.16, abs=0.04)
+        # Whole-bank utilization from firing counts: rate x (access+precharge).
+        busy = served * 10 / result.time
+        assert busy == pytest.approx(0.4, abs=0.05)
+
+    def test_bank_serves_one_at_a_time(self):
+        net = build_membank_net(access=6, precharge=4, ifetch_rate=0.2, data_rate=0.2)
+        sim = GSPNSimulator(net, make_rng(1))
+        result = sim.run(max_time=5_000)
+        served = result.firings.get("T1_iaccess", 0) + result.firings.get(
+            "T3_daccess", 0
+        )
+        # Saturated bank: one service per access+precharge window at most.
+        assert served <= 5_000 / 10 + 1
+
+    def test_bank_ready_place_name(self):
+        assert bank_ready_place(3) == "bank3_ready"

@@ -1,0 +1,115 @@
+"""Structural tests of the Figure 10 processor net."""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.gspn.models import (
+    ISSUE_TRANSITION,
+    MemoryPathProbs,
+    ProcessorNetParams,
+    build_processor_net,
+)
+from repro.gspn.net import TransitionKind
+from repro.gspn.sim import GSPNSimulator
+
+
+def _params(**kw):
+    defaults = dict(
+        ifetch=MemoryPathProbs(0.99),
+        load=MemoryPathProbs(0.95),
+        store=MemoryPathProbs(0.95),
+    )
+    defaults.update(kw)
+    return ProcessorNetParams(**defaults)
+
+
+class TestNetShape:
+    def test_integrated_has_no_l2_places(self):
+        net = build_processor_net(_params(has_l2=False))
+        assert "l2_port" not in net.initial_marking
+
+    def test_conventional_has_l2_mutex(self):
+        net = build_processor_net(
+            _params(
+                has_l2=True,
+                ifetch=MemoryPathProbs(0.97, 0.02),
+                load=MemoryPathProbs(0.9, 0.08),
+                store=MemoryPathProbs(0.9, 0.08),
+            )
+        )
+        assert net.initial_marking["l2_port"] == 1
+
+    def test_bank_array_size_follows_parameter(self):
+        for banks in (4, 16):
+            net = build_processor_net(_params(num_banks=banks))
+            ready = [p for p in net.places if p.endswith("_ready")]
+            assert len(ready) == banks
+
+    def test_issue_blocked_by_waiting_memory_ops(self):
+        net = build_processor_net(_params())
+        issue = net.transitions[ISSUE_TRANSITION]
+        assert issue.inhibitors == {"is_load": 1, "is_store": 1}
+        assert issue.kind is TransitionKind.DETERMINISTIC
+        assert issue.param == 1.0
+
+    def test_scoreboard_kind_follows_parameter(self):
+        exp_net = build_processor_net(_params(scoreboard_rate=1.0))
+        assert exp_net.transitions["T23_stall"].kind is TransitionKind.EXPONENTIAL
+        imm_net = build_processor_net(_params(scoreboard_rate=None))
+        assert imm_net.transitions["T23_stall"].kind is TransitionKind.IMMEDIATE
+
+    def test_single_lsu_token(self):
+        net = build_processor_net(_params())
+        assert net.initial_marking["lsu"] == 1
+
+
+class TestNetBehaviour:
+    def test_instruction_count_conserved(self):
+        """Every issued instruction is classified exactly once."""
+        net = build_processor_net(_params())
+        sim = GSPNSimulator(net, make_rng(0))
+        result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=5_000)
+        issued = result.firings[ISSUE_TRANSITION]
+        classified = sum(
+            result.firings.get(name, 0)
+            for name in ("T_class_other", "T_class_load", "T_class_store")
+        )
+        # The last instruction may still be in flight when the run stops.
+        assert issued - 2 <= classified <= issued
+
+    def test_class_mix_matches_probabilities(self):
+        net = build_processor_net(_params(p_load=0.3, p_store=0.1))
+        sim = GSPNSimulator(net, make_rng(3))
+        result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=20_000)
+        loads = result.firings.get("T_class_load", 0)
+        total = result.firings[ISSUE_TRANSITION]
+        assert loads / total == pytest.approx(0.3, abs=0.02)
+
+    def test_memory_requests_balance_completions(self):
+        net = build_processor_net(_params(load=MemoryPathProbs(0.5)))
+        sim = GSPNSimulator(net, make_rng(1))
+        result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=5_000)
+        routed = sum(
+            count
+            for name, count in result.firings.items()
+            if name.startswith("T_route_l_bank")
+        )
+        served = sum(
+            count
+            for name, count in result.firings.items()
+            if name.startswith("T_bank") and name.endswith("_l_access")
+        )
+        assert abs(routed - served) <= 1  # at most one in flight
+
+    def test_lsu_backpressure_raises_cpi(self):
+        """Store-heavy mixes queue on the single load/store unit."""
+        light = _params(p_load=0.05, p_store=0.05,
+                        load=MemoryPathProbs(0.7), store=MemoryPathProbs(0.7))
+        heavy = _params(p_load=0.25, p_store=0.25,
+                        load=MemoryPathProbs(0.7), store=MemoryPathProbs(0.7))
+        cpis = []
+        for params in (light, heavy):
+            sim = GSPNSimulator(build_processor_net(params), make_rng(2))
+            result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=6_000)
+            cpis.append(result.time / result.firings[ISSUE_TRANSITION])
+        assert cpis[1] > cpis[0] * 1.3

@@ -1,0 +1,173 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.rng import make_rng
+from repro.gspn.net import PetriNet
+from repro.gspn.sim import GSPNSimulator
+
+
+def _ring_net(places: int = 3, delay: float = 2.0) -> PetriNet:
+    """A token circulating through deterministic transitions."""
+    net = PetriNet("ring")
+    for i in range(places):
+        net.place(f"p{i}", tokens=1 if i == 0 else 0)
+    for i in range(places):
+        net.deterministic(
+            f"t{i}", {f"p{i}": 1}, {f"p{(i + 1) % places}": 1}, delay=delay
+        )
+    return net
+
+
+class TestDeterministicTiming:
+    def test_ring_period(self):
+        sim = GSPNSimulator(_ring_net(3, delay=2.0), make_rng(0))
+        result = sim.run(stop_transition="t0", stop_count=10)
+        # Each lap takes 3 transitions x 2 cycles; t0 fires at 2, 8, 14, ...
+        assert result.firings["t0"] == 10
+        assert result.time == pytest.approx(2.0 + 9 * 6.0)
+
+    def test_single_shot_deadlocks(self):
+        net = PetriNet("once")
+        net.place("a", 1)
+        net.place("b")
+        net.deterministic("T", {"a": 1}, {"b": 1}, delay=5.0)
+        result = GSPNSimulator(net, make_rng(0)).run(max_time=100)
+        assert result.deadlocked
+        assert result.time == 5.0
+        assert result.firings["T"] == 1
+
+    def test_max_time_stops_run(self):
+        sim = GSPNSimulator(_ring_net(3, delay=1.0), make_rng(0))
+        result = sim.run(max_time=10.0)
+        assert result.time >= 10.0
+        assert result.firings["t0"] <= 5
+
+    def test_unknown_stop_transition_rejected(self):
+        sim = GSPNSimulator(_ring_net(), make_rng(0))
+        with pytest.raises(SimulationError):
+            sim.run(stop_transition="nope", stop_count=1)
+
+
+class TestImmediateSemantics:
+    def test_immediates_fire_in_zero_time(self):
+        net = PetriNet("imm")
+        net.place("a", 1)
+        net.place("b")
+        net.place("c")
+        net.immediate("T_ab", {"a": 1}, {"b": 1})
+        net.deterministic("T_bc", {"b": 1}, {"c": 1}, delay=3.0)
+        result = GSPNSimulator(net, make_rng(0)).run(max_time=100)
+        assert result.time == 3.0
+
+    def test_priority_beats_weight(self):
+        net = PetriNet("prio")
+        net.place("a", 1)
+        net.place("low")
+        net.place("high")
+        net.immediate("T_low", {"a": 1}, {"low": 1}, weight=1000.0, priority=0)
+        net.immediate("T_high", {"a": 1}, {"high": 1}, weight=0.001, priority=1)
+        result = GSPNSimulator(net, make_rng(0)).run(max_time=1)
+        assert result.firings.get("T_high") == 1
+        assert "T_low" not in result.firings
+
+    def test_weighted_conflict_resolution(self):
+        net = PetriNet("weights")
+        net.place("src", 1)
+        net.place("gen")
+        net.place("left")
+        net.place("right")
+        net.deterministic("T_gen", {"src": 1}, {"src": 1, "gen": 1}, delay=1.0)
+        net.immediate("T_left", {"gen": 1}, {"left": 1}, weight=3.0)
+        net.immediate("T_right", {"gen": 1}, {"right": 1}, weight=1.0)
+        sim = GSPNSimulator(net, make_rng(7))
+        result = sim.run(stop_transition="T_gen", stop_count=4000)
+        ratio = result.firings["T_left"] / result.firings["T_right"]
+        assert ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_immediate_livelock_detected(self):
+        net = PetriNet("livelock")
+        net.place("a", 1)
+        net.place("b")
+        net.immediate("T_ab", {"a": 1}, {"b": 1})
+        net.immediate("T_ba", {"b": 1}, {"a": 1})
+        with pytest.raises(SimulationError):
+            GSPNSimulator(net, make_rng(0)).run(max_time=1)
+
+
+class TestInhibitors:
+    def test_inhibitor_blocks_transition(self):
+        net = PetriNet("inh")
+        net.place("a", 1)
+        net.place("blocker", 1)
+        net.place("out")
+        net.deterministic("T", {"a": 1}, {"out": 1}, delay=1.0,
+                          inhibitors={"blocker": 1})
+        result = GSPNSimulator(net, make_rng(0)).run(max_time=10)
+        assert "T" not in result.firings
+
+    def test_inhibitor_releases_when_cleared(self):
+        net = PetriNet("inh2")
+        net.place("a", 1)
+        net.place("blocker", 1)
+        net.place("out")
+        net.place("sink")
+        net.deterministic("T_clear", {"blocker": 1}, {"sink": 1}, delay=5.0)
+        net.deterministic("T", {"a": 1}, {"out": 1}, delay=1.0,
+                          inhibitors={"blocker": 1})
+        result = GSPNSimulator(net, make_rng(0)).run(max_time=100)
+        assert result.firings["T"] == 1
+        assert result.time == pytest.approx(6.0)  # restarts after the clear
+
+
+class TestExponential:
+    def test_mean_interfiring_time(self):
+        net = PetriNet("exp")
+        net.place("src", 1)
+        net.place("count")
+        net.exponential("T", {"src": 1}, {"src": 1, "count": 1}, rate=0.5)
+        result = GSPNSimulator(net, make_rng(3)).run(
+            stop_transition="T", stop_count=5000
+        )
+        mean = result.time / result.firings["T"]
+        assert mean == pytest.approx(2.0, rel=0.1)
+
+    def test_reproducible_with_seed(self):
+        net = _ring_net(2, delay=1.0)
+        a = GSPNSimulator(net, make_rng(5)).run(max_time=100)
+        b = GSPNSimulator(net, make_rng(5)).run(max_time=100)
+        assert a.firings == b.firings
+        assert a.time == b.time
+
+
+class TestStatsAndInvariants:
+    def test_mean_marking_of_busy_server(self):
+        # M/D/1-ish: always-on source, single server with utilization 0.5.
+        net = PetriNet("util")
+        net.place("src", 1)
+        net.place("queue")
+        net.place("server", 1)
+        net.place("busy")
+        net.place("done")
+        net.exponential("T_arrive", {"src": 1}, {"src": 1, "queue": 1}, rate=0.1)
+        net.immediate("T_seize", {"queue": 1, "server": 1}, {"busy": 1})
+        net.deterministic("T_serve", {"busy": 1}, {"server": 1, "done": 1}, delay=5.0)
+        net.immediate("T_sink", {"done": 1}, {})
+        sim = GSPNSimulator(net, make_rng(11), track_places=("server",))
+        result = sim.run(max_time=50_000)
+        # Utilization = arrival rate x service time = 0.5.
+        assert result.mean_marking["server"] == pytest.approx(0.5, abs=0.05)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_closed_conservative_net_preserves_tokens(self, seed):
+        net = _ring_net(4, delay=1.5)
+        sim = GSPNSimulator(net, make_rng(seed))
+        sim.run(max_time=200)
+        assert sum(sim.marking) == net.token_count()
+
+    def test_throughput_helper(self):
+        sim = GSPNSimulator(_ring_net(2, delay=1.0), make_rng(0))
+        result = sim.run(stop_transition="t0", stop_count=50)
+        assert result.throughput("t0") == pytest.approx(0.5, rel=0.05)

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.interconnect.fabric import HEADER_BYTES, Fabric, MessageType
+
+
+class TestMessageAccounting:
+    def test_payload_sizes(self):
+        assert MessageType.READ_REPLY.payload_bytes == 32
+        assert MessageType.WRITEBACK.payload_bytes == 32
+        assert MessageType.READ_REQUEST.payload_bytes == 0
+        assert MessageType.INVALIDATE.payload_bytes == 0
+
+    def test_byte_counting(self):
+        fabric = Fabric()
+        fabric.send(MessageType.READ_REQUEST)
+        fabric.send(MessageType.READ_REPLY)
+        assert fabric.stats.bytes_sent == 2 * HEADER_BYTES + 32
+
+    def test_bulk_send(self):
+        fabric = Fabric()
+        fabric.send(MessageType.INVALIDATE, count=5)
+        assert fabric.stats.messages[MessageType.INVALIDATE] == 5
+
+    def test_reset(self):
+        fabric = Fabric()
+        fabric.send(MessageType.ACK)
+        fabric.reset()
+        assert fabric.stats.bytes_sent == 0
+
+
+class TestBandwidth:
+    def test_peak_bandwidth_matches_paper(self):
+        # "Four links provide a peak I/O bandwidth of 1.6 Gbytes/sec".
+        assert Fabric().bandwidth_gbytes() == pytest.approx(1.28, rel=0.3)
+
+    def test_utilization_bounded(self):
+        fabric = Fabric()
+        for _ in range(1000):
+            fabric.send(MessageType.READ_REPLY)
+        util = fabric.utilization(elapsed_cycles=10_000, num_nodes=2)
+        assert 0.0 < util <= 1.0
+
+    def test_zero_cases(self):
+        fabric = Fabric()
+        assert fabric.utilization(0, 2) == 0.0
+        assert fabric.utilization(100, 0) == 0.0

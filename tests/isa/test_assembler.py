@@ -1,0 +1,147 @@
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.assembler import DEFAULT_TEXT_ORG, Assembler
+from repro.isa.instructions import Instruction, Opcode
+
+
+def assemble(src):
+    return Assembler().assemble(src)
+
+
+class TestBasicForms:
+    def test_reg_reg(self):
+        prog = assemble("add r3, r1, r2\nhalt")
+        instr = prog.instructions[DEFAULT_TEXT_ORG]
+        assert instr == Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+
+    def test_reg_imm_negative(self):
+        prog = assemble("addi r3, r1, -4\nhalt")
+        assert prog.instructions[DEFAULT_TEXT_ORG].imm == -4
+
+    def test_load_store_operands(self):
+        prog = assemble("ld r5, 8(r2)\nst r5, 12(r2)\nhalt")
+        load = prog.instructions[DEFAULT_TEXT_ORG]
+        store = prog.instructions[DEFAULT_TEXT_ORG + 4]
+        assert load.rd == 5 and load.rs1 == 2 and load.imm == 8
+        assert store.rs2 == 5 and store.rs1 == 2 and store.imm == 12
+
+    def test_hex_immediates(self):
+        prog = assemble("addi r1, r0, 0x10\nhalt")
+        assert prog.instructions[DEFAULT_TEXT_ORG].imm == 16
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch_offset(self):
+        prog = assemble("loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")
+        branch = prog.instructions[DEFAULT_TEXT_ORG + 4]
+        assert branch.imm == -4
+
+    def test_forward_branch_offset(self):
+        prog = assemble("beq r1, r2, done\naddi r1, r1, 1\ndone: halt")
+        branch = prog.instructions[DEFAULT_TEXT_ORG]
+        assert branch.imm == 8
+
+    def test_jal_absolute_target(self):
+        prog = assemble("jal r31, func\nhalt\nfunc: halt")
+        assert prog.instructions[DEFAULT_TEXT_ORG].imm == DEFAULT_TEXT_ORG + 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a: nop\na: nop\nhalt")
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble("start: addi r1, r0, 1\nhalt")
+        assert prog.labels["start"] == DEFAULT_TEXT_ORG
+
+
+class TestPseudoInstructions:
+    def test_li_expands_to_lui_ori(self):
+        prog = assemble("li r4, 0x12345678\nhalt")
+        lui = prog.instructions[DEFAULT_TEXT_ORG]
+        ori = prog.instructions[DEFAULT_TEXT_ORG + 4]
+        assert lui.opcode is Opcode.LUI and lui.imm == 0x1234
+        assert ori.opcode is Opcode.ORI and ori.imm == 0x5678
+
+    def test_la_loads_label_address(self):
+        prog = assemble(".data\nbuf: .word 1\n.text\nla r4, buf\nhalt")
+        lui = prog.instructions[DEFAULT_TEXT_ORG]
+        ori = prog.instructions[DEFAULT_TEXT_ORG + 4]
+        assert (lui.imm << 16) | ori.imm == prog.labels["buf"]
+
+    def test_mv_and_j_and_ret(self):
+        prog = assemble("top: mv r4, r5\nj top\nret\nhalt")
+        assert prog.instructions[DEFAULT_TEXT_ORG].opcode is Opcode.ADDI
+        assert prog.instructions[DEFAULT_TEXT_ORG + 4].opcode is Opcode.JAL
+        assert prog.instructions[DEFAULT_TEXT_ORG + 8].opcode is Opcode.JALR
+
+
+class TestDataSection:
+    def test_word_directive(self):
+        prog = assemble(".data\nvals: .word 1, 2, 3\n.text\nhalt")
+        base = prog.labels["vals"]
+        assert [prog.memory[base + 4 * i] for i in range(3)] == [1, 2, 3]
+
+    def test_space_reserves_without_initializing(self):
+        prog = assemble(".data\nbuf: .space 64\nafter: .word 9\n.text\nhalt")
+        assert prog.labels["after"] == prog.labels["buf"] + 64
+
+    def test_org_directive(self):
+        prog = assemble(".data\n.org 0x200000\nx: .word 5\n.text\nhalt")
+        assert prog.labels["x"] == 0x200000
+
+    def test_word_accepts_label_values(self):
+        prog = assemble(".data\na: .word 0\nptr: .word a\n.text\nhalt")
+        assert prog.memory[prog.labels["ptr"]] == prog.labels["a"]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r32, r1, r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld r1, r2")
+
+    def test_code_in_data_section(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi r1, r0, banana")
+
+
+class TestDisassembly:
+    def test_roundtrip_through_disassemble(self):
+        src = "add r3, r1, r2\nld r5, 8(r2)\nst r5, 0(r2)\nbeq r1, r2, 8\nhalt"
+        prog = assemble(src)
+        texts = [
+            prog.instructions[DEFAULT_TEXT_ORG + 4 * i].disassemble()
+            for i in range(5)
+        ]
+        assert texts[0] == "add r3, r1, r2"
+        assert texts[1] == "ld r5, 8(r2)"
+        assert texts[2] == "st r5, 0(r2)"
+        assert texts[4] == "halt"
+
+
+class TestListing:
+    def test_listing_contains_labels_and_addresses(self):
+        prog = assemble("main: addi r1, r0, 5\nloop: addi r1, r1, -1\n"
+                        "bne r1, r0, loop\nhalt")
+        listing = prog.listing()
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert "0x010000" in listing
+        assert "addi r1, r0, 5" in listing
+
+    def test_listing_line_count(self):
+        prog = assemble("a: nop\nnop\nhalt")
+        # 3 instructions + 1 label line.
+        assert len(prog.listing().splitlines()) == 4

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.assembler import Assembler
+from repro.isa.cpu import CPU
+from repro.isa.programs import (
+    fill_array,
+    list_traversal,
+    matmul,
+    stride_walk,
+    vector_sum,
+)
+
+
+def run(src, **kw):
+    return CPU(Assembler().assemble(src), **kw).run()
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        res = run("li r1, 7\nli r2, 5\nadd r3, r1, r2\nsub r4, r1, r2\nhalt")
+        assert res.registers[3] == 12
+        assert res.registers[4] == 2
+
+    def test_mul_div(self):
+        res = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\ndiv r4, r3, r2\nhalt")
+        assert res.registers[3] == 42
+        assert res.registers[4] == 6
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run("li r1, 1\ndiv r2, r1, r0\nhalt")
+
+    def test_slt_signed(self):
+        res = run("li r1, -1\nli r2, 1\nslt r3, r1, r2\nslt r4, r2, r1\nhalt")
+        assert res.registers[3] == 1
+        assert res.registers[4] == 0
+
+    def test_shifts(self):
+        res = run("li r1, 3\nslli r2, r1, 4\nsrli r3, r2, 2\nhalt")
+        assert res.registers[2] == 48
+        assert res.registers[3] == 12
+
+    def test_r0_is_hardwired_zero(self):
+        res = run("addi r0, r0, 99\nhalt")
+        assert res.registers[0] == 0
+
+    def test_wraparound_arithmetic(self):
+        res = run("li r1, 0xFFFFFFFF\naddi r2, r1, 1\nhalt")
+        assert res.registers[2] == 0
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        res = run(".data\nbuf: .space 16\n.text\nla r1, buf\nli r2, 42\n"
+                  "st r2, 4(r1)\nld r3, 4(r1)\nhalt")
+        assert res.registers[3] == 42
+
+    def test_uninitialized_memory_reads_zero(self):
+        res = run(".data\nbuf: .space 8\n.text\nla r1, buf\nld r2, 0(r1)\nhalt")
+        assert res.registers[2] == 0
+
+    def test_unaligned_access_raises(self):
+        with pytest.raises(SimulationError):
+            run("li r1, 0x100001\nld r2, 0(r1)\nhalt")
+
+    def test_data_trace_records_loads_and_stores(self):
+        res = run(".data\nbuf: .space 8\n.text\nla r1, buf\nli r2, 1\n"
+                  "st r2, 0(r1)\nld r3, 0(r1)\nhalt")
+        assert res.data_trace.is_write.tolist() == [True, False]
+
+    def test_instruction_trace_matches_count(self):
+        res = run("nop\nnop\nhalt")
+        assert len(res.instruction_trace) == res.instructions_executed == 3
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        res = run("li r1, 5\nloop: addi r2, r2, 10\naddi r1, r1, -1\n"
+                  "bne r1, r0, loop\nhalt")
+        assert res.registers[2] == 50
+
+    def test_call_and_return(self):
+        res = run("jal r31, func\nli r2, 2\nhalt\nfunc: li r1, 1\nret")
+        assert res.registers[1] == 1
+        assert res.registers[2] == 2
+
+    def test_runaway_budget(self):
+        with pytest.raises(SimulationError):
+            run("loop: j loop", max_instructions=1000)
+
+    def test_fall_off_end_raises(self):
+        with pytest.raises(SimulationError):
+            run("nop")
+
+
+class TestKernels:
+    def test_vector_sum_checksum(self):
+        res = run(vector_sum(64))
+        # Array is zero-initialized, so the checksum stored past it is 0,
+        # and the loop executed 64 iterations.
+        assert res.load_word(0x100000 + 4 * 64) == 0
+        assert len(res.data_trace) == 65  # 64 loads + 1 store
+
+    def test_fill_array_writes_value(self):
+        res = run(fill_array(32, value=9))
+        assert all(res.load_word(0x100000 + 4 * i) == 9 for i in range(32))
+
+    def test_matmul_identity(self):
+        n = 5
+        res = run(matmul(n))
+        a, c = 0x100000, 0x100000 + 8 * n * n
+        for i in range(n * n):
+            assert res.load_word(a + 4 * i) == res.load_word(c + 4 * i)
+
+    def test_list_traversal_checksum(self):
+        nodes, laps = 32, 3
+        res = run(list_traversal(nodes, laps=laps))
+        expected = laps * nodes * (nodes + 1) // 2
+        assert res.load_word(0x100000 + 8) == expected
+
+    def test_stride_walk_reference_count(self):
+        res = run(stride_walk(4096, 64, passes=2))
+        assert len(res.data_trace) == 2 * 4096 // 64

@@ -1,0 +1,63 @@
+"""Tests for the saxpy and binary-search kernels."""
+
+import pytest
+
+from repro.caches import DirectMappedCache, proposed_dcache, proposed_icache
+from repro.isa import Assembler, CPU, CacheMemoryModel, PipelineTimer
+from repro.isa.programs import KERNELS, binary_search, saxpy
+
+
+def run(src):
+    return CPU(Assembler().assemble(src), keep_instruction_objects=True).run()
+
+
+class TestSaxpy:
+    def test_result_on_zero_vectors(self):
+        result = run(saxpy(32, a=5))
+        # x and y start zeroed, so y stays zero.
+        assert all(result.load_word(0x100000 + 4 * (32 + i)) == 0
+                   for i in range(32))
+
+    def test_store_per_iteration(self):
+        result = run(saxpy(100))
+        assert int(result.data_trace.is_write.sum()) == 100
+
+    def test_streaming_favors_long_lines(self):
+        result = run(saxpy(2048))
+        timer = PipelineTimer()
+        long_lines = timer.run(
+            run(saxpy(2048)),
+            CacheMemoryModel(proposed_icache(), proposed_dcache(), miss_cycles=6),
+        )
+        short_lines = timer.run(
+            result,
+            CacheMemoryModel(
+                DirectMappedCache(8192, 32),
+                DirectMappedCache(16384, 32),
+                miss_cycles=6,
+            ),
+        )
+        assert long_lines.data_stall_cycles < short_lines.data_stall_cycles / 3
+
+
+class TestBinarySearch:
+    def test_checksum_matches_reference_model(self):
+        elements, probes = 256, 16
+        result = run(binary_search(elements, probes))
+        state, expected = 17, 0
+        for _ in range(probes):
+            state = (state * 13 + 7) & (elements - 1)
+            expected += state
+        assert result.load_word(0x100000 + 4 * elements) == expected
+
+    def test_log_depth_access_pattern(self):
+        """Binary search touches ~log2(n) elements per probe."""
+        result = run(binary_search(1024, probes=8))
+        searches = result.data_trace.addresses
+        # Fill writes 1024; each probe loads <= log2(1024)+1 = 11 words.
+        loads = int((~result.data_trace.is_write).sum())
+        assert loads <= 8 * 11
+
+    def test_registered_in_kernel_table(self):
+        assert "saxpy" in KERNELS
+        assert "binary_search" in KERNELS

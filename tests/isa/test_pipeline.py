@@ -1,0 +1,100 @@
+import pytest
+
+from repro.caches import DirectMappedCache, proposed_dcache, proposed_icache
+from repro.isa.assembler import Assembler
+from repro.isa.cpu import CPU
+from repro.isa.pipeline import CacheMemoryModel, FlatMemory, PipelineTimer
+from repro.isa.programs import vector_sum
+
+
+def run_timed(src, memory=None):
+    result = CPU(Assembler().assemble(src), keep_instruction_objects=True).run()
+    return PipelineTimer().run(result, memory or FlatMemory())
+
+
+class TestIdealTiming:
+    def test_straightline_code_is_cpi_one(self):
+        timing = run_timed("nop\nnop\nnop\nnop\nhalt")
+        assert timing.cpi == pytest.approx(1.0)
+
+    def test_requires_instruction_objects(self):
+        result = CPU(Assembler().assemble("halt")).run()
+        with pytest.raises(ValueError):
+            PipelineTimer().run(result, FlatMemory())
+
+    def test_load_use_interlock(self):
+        smooth = run_timed(
+            ".data\nb: .word 1\n.text\nla r1, b\nld r2, 0(r1)\nnop\n"
+            "add r3, r2, r2\nhalt"
+        )
+        stalled = run_timed(
+            ".data\nb: .word 1\n.text\nla r1, b\nld r2, 0(r1)\n"
+            "add r3, r2, r2\nnop\nhalt"
+        )
+        assert stalled.interlock_cycles == smooth.interlock_cycles + 1
+
+    def test_taken_branch_bubble(self):
+        taken = run_timed("li r1, 1\nbeq r1, r1, skip\nnop\nskip: halt")
+        untaken = run_timed("li r1, 1\nbne r1, r1, skip\nnop\nskip: halt")
+        assert taken.branch_bubble_cycles == 1
+        assert untaken.branch_bubble_cycles == 0
+
+    def test_store_does_not_stall(self):
+        # Stores retire through the store buffer: flat memory and a missing
+        # cache give the same cycle count for a store-only kernel.
+        src = ".data\nb: .space 64\n.text\nla r1, b\nli r2, 5\nst r2, 0(r1)\nhalt"
+        flat = run_timed(src)
+        cached = run_timed(
+            src,
+            CacheMemoryModel(
+                DirectMappedCache(8192, 512),
+                DirectMappedCache(16384, 512),
+                miss_cycles=6,
+            ),
+        )
+        assert cached.data_stall_cycles == flat.data_stall_cycles == 0
+
+
+class TestCacheTiming:
+    def test_load_misses_cost_latency(self):
+        src = (".data\nb: .space 64\n.text\nla r1, b\nld r2, 0(r1)\n"
+               "ld r3, 0(r1)\nhalt")
+        timing = run_timed(
+            src,
+            CacheMemoryModel(
+                DirectMappedCache(8192, 512),
+                DirectMappedCache(16384, 512),
+                miss_cycles=6,
+            ),
+        )
+        # First load misses (5 extra cycles), second hits.
+        assert timing.data_stall_cycles == 5
+
+    def test_long_lines_reduce_streaming_stalls(self):
+        src = vector_sum(512)
+        long_lines = run_timed(
+            src,
+            CacheMemoryModel(proposed_icache(), proposed_dcache(), miss_cycles=6),
+        )
+        short_lines = run_timed(
+            src,
+            CacheMemoryModel(
+                DirectMappedCache(8192, 32),
+                DirectMappedCache(16384, 32),
+                miss_cycles=6,
+            ),
+        )
+        assert long_lines.data_stall_cycles < short_lines.data_stall_cycles / 4
+
+    def test_cpi_decomposition_sums(self):
+        timing = run_timed(
+            vector_sum(128),
+            CacheMemoryModel(proposed_icache(), proposed_dcache(), miss_cycles=6),
+        )
+        overhead = (
+            timing.ifetch_stall_cycles
+            + timing.data_stall_cycles
+            + timing.interlock_cycles
+            + timing.branch_bubble_cycles
+        )
+        assert timing.cycles == timing.instructions + overhead

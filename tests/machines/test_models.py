@@ -1,0 +1,94 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KB, MB
+from repro.machines.models import (
+    CacheLevel,
+    MachineModel,
+    integrated_device,
+    sparcstation_5,
+    sparcstation_10,
+)
+
+
+class TestValidation:
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigError):
+            MachineModel("m", 0.0, 1.0, (CacheLevel(8 * KB, 32, 10.0),))
+
+    def test_rejects_no_levels(self):
+        with pytest.raises(ConfigError):
+            MachineModel("m", 100.0, 1.0, ())
+
+    def test_rejects_shrinking_levels(self):
+        with pytest.raises(ConfigError):
+            MachineModel(
+                "m", 100.0, 1.0,
+                (CacheLevel(64 * KB, 32, 10.0), CacheLevel(8 * KB, 32, 20.0)),
+            )
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigError):
+            CacheLevel(0, 32, 10.0)
+
+
+class TestAccessTime:
+    def test_fits_first_level(self):
+        ss10 = sparcstation_10()
+        assert ss10.access_time_ns(8 * KB, 64) == ss10.levels[0].latency_ns
+
+    def test_fits_second_level(self):
+        ss10 = sparcstation_10()
+        mid = ss10.access_time_ns(256 * KB, 4096)
+        assert ss10.levels[0].latency_ns < mid <= (
+            ss10.levels[0].latency_ns + ss10.levels[1].latency_ns
+        )
+
+    def test_overflows_everything(self):
+        ss10 = sparcstation_10()
+        far = ss10.access_time_ns(32 * MB, 4096)
+        assert far > ss10.memory_latency_ns
+
+    def test_small_stride_amortizes_misses(self):
+        ss5 = sparcstation_5()
+        dense = ss5.access_time_ns(32 * MB, 4)
+        sparse = ss5.access_time_ns(32 * MB, 4096)
+        assert dense < sparse
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ConfigError):
+            sparcstation_5().access_time_ns(1024, 0)
+
+
+class TestPaperSection2Claims:
+    def test_ss5_has_lower_memory_latency(self):
+        # The integrated memory controller gives the SS-5 the lower
+        # main-memory latency (the whole point of Figure 2).
+        assert sparcstation_5().memory_latency_ns < sparcstation_10().memory_latency_ns
+
+    def test_ss10_wins_in_l2_region(self):
+        ss5, ss10 = sparcstation_5(), sparcstation_10()
+        assert ss10.access_time_ns(512 * KB, 4096) < ss5.access_time_ns(512 * KB, 4096)
+
+    def test_ss5_wins_beyond_l2(self):
+        ss5, ss10 = sparcstation_5(), sparcstation_10()
+        assert ss5.access_time_ns(8 * MB, 4096) < ss10.access_time_ns(8 * MB, 4096)
+
+    def test_integrated_device_has_lowest_memory_latency(self):
+        assert integrated_device().memory_latency_ns == 30.0
+
+
+class TestRuntimeModel:
+    def test_runtime_scales_with_instructions(self):
+        ss5 = sparcstation_5()
+        t1 = ss5.runtime_seconds(1e9, (0.02,))
+        t2 = ss5.runtime_seconds(2e9, (0.02,))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_misses_increase_runtime(self):
+        ss5 = sparcstation_5()
+        assert ss5.runtime_seconds(1e9, (0.10,)) > ss5.runtime_seconds(1e9, (0.01,))
+
+    def test_wrong_miss_rate_arity_rejected(self):
+        with pytest.raises(ConfigError):
+            sparcstation_10().runtime_seconds(1e9, (0.02,))

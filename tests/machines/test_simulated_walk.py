@@ -1,0 +1,63 @@
+"""Cross-validation: simulated stride walk vs the analytic Figure 2 model."""
+
+import pytest
+
+from repro.common.units import KB, MB
+from repro.machines.models import sparcstation_5, sparcstation_10
+from repro.machines.simulated_walk import (
+    simulate_integrated_walk,
+    simulate_machine_walk,
+)
+
+
+class TestAgainstAnalyticModel:
+    @pytest.mark.parametrize("array_kb", [4, 64, 2048])
+    def test_ss5_simulation_matches_model(self, array_kb):
+        ss5 = sparcstation_5()
+        point = simulate_machine_walk(ss5, array_kb * KB, 4096)
+        predicted = ss5.access_time_ns(array_kb * KB, 4096)
+        assert point.latency_ns == pytest.approx(predicted, rel=0.25)
+
+    def test_ss10_l2_region(self):
+        ss10 = sparcstation_10()
+        point = simulate_machine_walk(ss10, 256 * KB, 4096)
+        # Inside the 1 MB L2: every access hits the second level.
+        assert point.latency_ns == pytest.approx(
+            ss10.levels[1].latency_ns, rel=0.05
+        )
+
+    def test_ss10_beyond_l2_hits_memory(self):
+        ss10 = sparcstation_10()
+        point = simulate_machine_walk(ss10, 4 * MB, 4096)
+        assert point.latency_ns > ss10.memory_latency_ns * 0.9
+        assert point.miss_rate > 0.9
+
+    def test_crossover_emerges_from_simulation(self):
+        """The Figure 2 crossover measured, not computed."""
+        ss5, ss10 = sparcstation_5(), sparcstation_10()
+        mid_5 = simulate_machine_walk(ss5, 512 * KB, 4096).latency_ns
+        mid_10 = simulate_machine_walk(ss10, 512 * KB, 4096).latency_ns
+        far_5 = simulate_machine_walk(ss5, 4 * MB, 4096).latency_ns
+        far_10 = simulate_machine_walk(ss10, 4 * MB, 4096).latency_ns
+        assert mid_10 < mid_5
+        assert far_5 < far_10
+
+
+class TestIntegratedDevice:
+    def test_flat_latency_profile(self):
+        """The device's memory is 30 ns away at every working-set size."""
+        small = simulate_integrated_walk(8 * KB, 4096)
+        large = simulate_integrated_walk(4 * MB, 4096)
+        assert small.latency_ns <= 30.0 + 1e-9
+        assert large.latency_ns <= 30.0 + 1e-9
+
+    def test_dense_strides_hit_column_buffers(self):
+        point = simulate_integrated_walk(64 * KB, 8)
+        # 512 B lines: one miss per 64 strides of 8 B.
+        assert point.miss_rate < 0.05
+        assert point.latency_ns < 7.0
+
+    def test_beats_both_workstations_at_large_sizes(self):
+        integrated = simulate_integrated_walk(8 * MB, 4096).latency_ns
+        ss5 = simulate_machine_walk(sparcstation_5(), 8 * MB, 4096).latency_ns
+        assert integrated < ss5 / 5

@@ -1,0 +1,44 @@
+from repro.common.units import KB, MB
+from repro.machines.stridewalk import crossover_sizes, stride_walk_curve
+from repro.machines.table1 import table1_model
+from repro.machines.models import sparcstation_5, sparcstation_10
+
+
+class TestTable1:
+    def test_ss10_wins_spec_class(self):
+        ss5, ss10 = table1_model()
+        assert ss10.spec_runtime_s < ss5.spec_runtime_s
+
+    def test_ss5_wins_synopsys_class(self):
+        # The paper's headline: 32 vs 44 minutes despite the lower Spec rating.
+        ss5, ss10 = table1_model()
+        assert ss5.synopsys_runtime_s < ss10.synopsys_runtime_s
+
+    def test_synopsys_advantage_magnitude(self):
+        # Paper ratio: 44/32 = 1.375; ours should be within ~25%.
+        ss5, ss10 = table1_model()
+        ratio = ss10.synopsys_runtime_s / ss5.synopsys_runtime_s
+        assert 1.1 < ratio < 1.7
+
+
+class TestFigure2:
+    def test_curve_shape_monotone_in_size(self):
+        points = stride_walk_curve(sparcstation_10(), strides=(4096,))
+        latencies = [p.latency_ns for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_prefetch_hides_small_strides(self):
+        # Footnote 2: the SS-10 prefetch unit hides memory access time for
+        # small linear strides.
+        points = stride_walk_curve(
+            sparcstation_10(), strides=(16,), prefetch_threshold_bytes=64
+        )
+        assert all(
+            p.latency_ns == sparcstation_10().levels[0].latency_ns for p in points
+        )
+
+    def test_crossover_beyond_l2(self):
+        wins = crossover_sizes(sparcstation_5(), sparcstation_10())
+        big_wins = [w for w in wins if w > 1 * MB]
+        assert big_wins  # SS-5 wins somewhere beyond the SS-10's 1 MB L2
+        assert 512 * KB not in wins  # but not in the L2 sweet spot

@@ -1,0 +1,94 @@
+from repro.common.units import MB
+from repro.mp.node import HitLevel, IntegratedNode, ReferenceNode
+
+
+class TestIntegratedNode:
+    def test_local_miss_then_column_hit(self):
+        node = IntegratedNode(0)
+        assert node.lookup(0x1000, is_local=True) is HitLevel.LOCAL_MEMORY
+        assert node.lookup(0x1004, is_local=True) is HitLevel.CACHE
+
+    def test_remote_miss_then_inc_path(self):
+        node = IntegratedNode(0)
+        addr = 0x1000_0000
+        assert node.lookup(addr, is_local=False) is HitLevel.REMOTE
+        node.fill_remote(addr)
+        # Victim staging serves the freshly imported block at 1 cycle.
+        assert node.lookup(addr, is_local=False) is HitLevel.VICTIM
+
+    def test_inc_hit_after_victim_displacement(self):
+        node = IntegratedNode(0)
+        addr = 0x1000_0000
+        node.fill_remote(addr)
+        # Push 16 other blocks through the victim to displace the staging.
+        for i in range(1, 17):
+            node.fill_remote(addr + i * 4096)
+        assert node.lookup(addr, is_local=False) is HitLevel.INC
+
+    def test_invalidate_clears_inc_and_victim(self):
+        node = IntegratedNode(0)
+        addr = 0x1000_0000
+        node.fill_remote(addr)
+        node.invalidate(addr)
+        assert node.lookup(addr, is_local=False) is HitLevel.REMOTE
+
+    def test_no_victim_configuration(self):
+        node = IntegratedNode(0, with_victim=False)
+        addr = 0x1000_0000
+        node.fill_remote(addr)
+        assert node.lookup(addr, is_local=False) is HitLevel.INC
+
+    def test_inc_eviction_notifies_and_drops_staging(self):
+        events = []
+        node = IntegratedNode(
+            0, inc_bytes=1 * MB, on_remote_eviction=lambda n, a: events.append((n, a))
+        )
+        stride = node.inc.num_sets * 32
+        for i in range(8):  # 7 ways + 1
+            node.fill_remote(i * stride)
+        assert events and events[0][0] == 0
+        evicted_addr = events[0][1]
+        assert not node.holds_remote(evicted_addr)
+        assert node.victim is not None and not node.victim.contains(evicted_addr)
+
+    def test_local_victim_hit_reported(self):
+        node = IntegratedNode(0)
+        # Two aliases thrash a direct-mapped... the D-cache is 2-way, so
+        # three aliases are needed per set (8 KB apart).
+        for addr in (0x0, 0x2000, 0x4000):
+            node.lookup(addr, is_local=True)
+        # Block 0 was evicted into the victim.
+        assert node.lookup(0x0, is_local=True) is HitLevel.VICTIM
+
+
+class TestReferenceNode:
+    def test_local_cold_then_flc_hit(self):
+        node = ReferenceNode(0)
+        assert node.lookup(0x1000, is_local=True) is HitLevel.LOCAL_MEMORY
+        assert node.lookup(0x1000, is_local=True) is HitLevel.CACHE
+
+    def test_slc_is_infinite(self):
+        node = ReferenceNode(0)
+        # Touch far more than any finite cache would hold.
+        for i in range(4096):
+            node.lookup(i * 4096, is_local=True)
+        # Everything hits the SLC on revisit (FLC conflicts aside).
+        level = node.lookup(0, is_local=True)
+        assert level in (HitLevel.CACHE, HitLevel.SLC)
+        assert level is not HitLevel.LOCAL_MEMORY
+
+    def test_remote_fill_and_hit(self):
+        node = ReferenceNode(0)
+        addr = 0x1000_0000
+        assert node.lookup(addr, is_local=False) is HitLevel.REMOTE
+        node.fill_remote(addr)
+        level = node.lookup(addr, is_local=False)
+        assert level in (HitLevel.CACHE, HitLevel.SLC)
+
+    def test_invalidate_clears_both_levels(self):
+        node = ReferenceNode(0)
+        addr = 0x1000_0000
+        node.fill_remote(addr)
+        node.lookup(addr, is_local=False)  # pulls into FLC
+        node.invalidate(addr)
+        assert node.lookup(addr, is_local=False) is HitLevel.REMOTE

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.phases import Phase, PhaseSchedule, phased_trace
+from repro.trace.stream import ReferenceTrace
+
+
+def _trace(values):
+    return ReferenceTrace.reads(values)
+
+
+class TestPhase:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ConfigError):
+            Phase(ReferenceTrace.empty())
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ConfigError):
+            Phase(_trace([0]), repeats=0)
+
+
+class TestPhaseSchedule:
+    def test_cycle_length(self):
+        schedule = PhaseSchedule((
+            Phase(_trace([0, 4]), repeats=2),
+            Phase(_trace([8]), repeats=1),
+        ))
+        assert schedule.cycle_length == 5
+
+    def test_generate_exact_length(self):
+        schedule = PhaseSchedule((Phase(_trace([0, 4, 8]), 1),))
+        assert len(schedule.generate(7)) == 7
+
+    def test_order_preserved(self):
+        trace = phased_trace([(_trace([0]), 2), (_trace([100]), 1)], 6)
+        assert trace.addresses.tolist() == [0, 0, 100, 0, 0, 100]
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ConfigError):
+            PhaseSchedule(())
+
+    def test_rejects_zero_length(self):
+        schedule = PhaseSchedule((Phase(_trace([0]), 1),))
+        with pytest.raises(ConfigError):
+            schedule.generate(0)
+
+
+class TestCacheBehaviourAcrossPhases:
+    def test_phase_change_causes_miss_burst(self):
+        """Switching working sets produces cold misses at each boundary —
+        the effect single-pattern traces cannot show."""
+        from repro.caches import DirectMappedCache
+
+        phase_a = _trace(range(0, 4096, 32))  # 4 KB working set
+        phase_b = _trace(range(16384, 16384 + 4096, 32))  # disjoint 4 KB
+        steady = DirectMappedCache(16 * 1024, 32)
+        steady.run(phase_a.take(1024))
+        steady_rate = steady.stats.miss_rate
+
+        phased = DirectMappedCache(2 * 1024, 32)  # too small for both
+        phased.run(phased_trace([(phase_a, 1), (phase_b, 1)], 1024))
+        assert phased.stats.miss_rate > steady_rate

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import make_rng
+from repro.trace.stream import ReferenceTrace, expand_runs, interleave_blocks
+
+
+class TestReferenceTrace:
+    def test_reads_constructor(self):
+        trace = ReferenceTrace.reads([0, 4, 8])
+        assert len(trace) == 3
+        assert not trace.is_write.any()
+
+    def test_from_pairs_roundtrip(self):
+        pairs = [(0, False), (4, True), (8, False)]
+        trace = ReferenceTrace.from_pairs(pairs)
+        assert list(trace) == pairs
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            ReferenceTrace(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=bool))
+
+    def test_slice_returns_trace(self):
+        trace = ReferenceTrace.reads(range(10))
+        assert len(trace[2:5]) == 3
+        with pytest.raises(TypeError):
+            trace[0]
+
+    def test_concat(self):
+        a = ReferenceTrace.reads([0, 4])
+        b = ReferenceTrace.reads([8])
+        assert len(ReferenceTrace.concat([a, b])) == 3
+        assert len(ReferenceTrace.concat([])) == 0
+
+    def test_take_cycles_short_traces(self):
+        trace = ReferenceTrace.reads([0, 4])
+        extended = trace.take(5)
+        assert extended.addresses.tolist() == [0, 4, 0, 4, 0]
+
+    def test_take_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReferenceTrace.empty().take(3)
+
+    def test_offset(self):
+        trace = ReferenceTrace.reads([0, 4]).offset(0x1000)
+        assert trace.addresses.tolist() == [0x1000, 0x1004]
+
+    def test_store_fraction(self):
+        trace = ReferenceTrace.from_pairs([(0, True), (4, False)])
+        assert trace.store_fraction == 0.5
+        assert ReferenceTrace.empty().store_fraction == 0.0
+
+
+class TestExpandRuns:
+    def test_single_run(self):
+        out = expand_runs(np.array([100]), np.array([3]), step=4)
+        assert out.tolist() == [100, 104, 108]
+
+    def test_multiple_runs(self):
+        out = expand_runs(np.array([0, 1000]), np.array([2, 2]), step=8)
+        assert out.tolist() == [0, 8, 1000, 1008]
+
+    def test_zero_length_runs(self):
+        out = expand_runs(np.array([0, 100, 200]), np.array([1, 0, 1]))
+        assert out.tolist() == [0, 200]
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            expand_runs(np.array([0]), np.array([-1]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        runs=st.lists(
+            st.tuples(st.integers(0, 1 << 20), st.integers(0, 20)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_matches_python_loop(self, runs):
+        starts = np.array([r[0] for r in runs], dtype=np.int64)
+        lengths = np.array([r[1] for r in runs], dtype=np.int64)
+        expected = [start + 4 * i for start, n in runs for i in range(n)]
+        assert expand_runs(starts, lengths).tolist() == expected
+
+
+class TestInterleaveBlocks:
+    def test_exact_length(self):
+        a = ReferenceTrace.reads(range(0, 400, 4))
+        b = ReferenceTrace.reads(range(1 << 20, (1 << 20) + 400, 4))
+        mixed = interleave_blocks([a, b], [1, 1], block=10, length=77, rng=make_rng(3))
+        assert len(mixed) == 77
+
+    def test_only_one_source_when_weight_zero(self):
+        a = ReferenceTrace.reads(range(0, 400, 4))
+        b = ReferenceTrace.reads(range(1 << 20, (1 << 20) + 400, 4))
+        mixed = interleave_blocks([a, b], [1, 0], block=8, length=64, rng=make_rng(3))
+        assert mixed.addresses.max() < 1 << 20
+
+    def test_rejects_bad_weights(self):
+        a = ReferenceTrace.reads([0])
+        with pytest.raises(ValueError):
+            interleave_blocks([a], [0], block=4, length=4, rng=make_rng(0))
+        with pytest.raises(ValueError):
+            interleave_blocks([a], [1, 2], block=4, length=4, rng=make_rng(0))
+
+    def test_preserves_block_locality(self):
+        a = ReferenceTrace.reads(range(0, 4000, 4))
+        mixed = interleave_blocks([a], [1.0], block=16, length=64, rng=make_rng(1))
+        diffs = np.diff(mixed.addresses)
+        # Within blocks the stride is preserved.
+        assert (diffs == 4).sum() >= 48

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.uniproc.measurement import measure_conventional, measure_integrated
+from repro.workloads.spec import get_proxy
+
+TRACE_LEN = 40_000
+
+
+class TestMeasureIntegrated:
+    def test_probabilities_well_formed(self):
+        rates = measure_integrated(get_proxy("126.gcc"), TRACE_LEN)
+        for probs in (rates.ifetch, rates.load, rates.store):
+            assert 0.0 <= probs.hit <= 1.0
+            assert probs.l2 == 0.0  # integrated system has no L2
+            assert probs.hit + probs.mem == pytest.approx(1.0)
+
+    def test_victim_improves_hit_rate_for_conflict_benchmark(self):
+        with_v = measure_integrated(get_proxy("101.tomcatv"), TRACE_LEN,
+                                    with_victim=True)
+        without_v = measure_integrated(get_proxy("101.tomcatv"), TRACE_LEN,
+                                       with_victim=False)
+        assert with_v.dcache_miss_rate < without_v.dcache_miss_rate / 2
+
+    def test_tight_loop_benchmark_has_high_ifetch_hit(self):
+        rates = measure_integrated(get_proxy("129.compress"), TRACE_LEN)
+        assert rates.ifetch.hit > 0.998
+
+    def test_deterministic(self):
+        a = measure_integrated(get_proxy("099.go"), TRACE_LEN, seed=5)
+        b = measure_integrated(get_proxy("099.go"), TRACE_LEN, seed=5)
+        assert a.ifetch.hit == b.ifetch.hit
+        assert a.load.hit == b.load.hit
+
+
+class TestMeasureConventional:
+    def test_l2_fraction_present(self):
+        rates = measure_conventional(get_proxy("126.gcc"), TRACE_LEN)
+        assert rates.load.l2 > 0.0
+        assert rates.load.hit + rates.load.l2 + rates.load.mem == pytest.approx(1.0)
+
+    def test_shared_l2_sees_both_streams(self):
+        rates = measure_conventional(get_proxy("134.perl"), TRACE_LEN)
+        assert rates.ifetch.l2 > 0.0
+
+    def test_conventional_l1_miss_rates_reasonable(self):
+        rates = measure_conventional(get_proxy("107.mgrid"), TRACE_LEN)
+        # mgrid streams: conventional 16 KB caches miss a few percent.
+        assert 0.005 < rates.dcache_miss_rate < 0.2

@@ -1,0 +1,44 @@
+"""Cholesky extension kernel tests."""
+
+import pytest
+
+from repro.mp.system import SystemKind
+from repro.workloads.splash import CholeskyKernel
+
+
+class TestCholesky:
+    def test_factorization_correct(self):
+        kernel = CholeskyKernel(n=16, block=4)
+        kernel.run_on(SystemKind.INTEGRATED, 2)
+        assert kernel.verify()
+
+    def test_correct_on_every_system_kind(self):
+        for kind in SystemKind:
+            kernel = CholeskyKernel(n=12, block=4)
+            kernel.run_on(kind, 2)
+            assert kernel.verify(), kind
+
+    def test_parallel_speedup(self):
+        serial = CholeskyKernel(n=24, block=4)
+        t1, _ = serial.run_on(SystemKind.INTEGRATED, 1)
+        parallel = CholeskyKernel(n=24, block=4)
+        t4, _ = parallel.run_on(SystemKind.INTEGRATED, 4)
+        assert t4.execution_time < t1.execution_time
+
+    def test_cheaper_than_lu_at_same_size(self):
+        """The triangular update does roughly half of LU's work."""
+        from repro.workloads.splash import LUKernel
+
+        chol = CholeskyKernel(n=24, block=4)
+        t_chol, _ = chol.run_on(SystemKind.INTEGRATED, 1)
+        lu = LUKernel(n=24, block=4)
+        t_lu, _ = lu.run_on(SystemKind.INTEGRATED, 1)
+        assert t_chol.execution_time < t_lu.execution_time * 0.75
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            CholeskyKernel(n=10, block=4)
+
+    def test_verify_before_run_raises(self):
+        with pytest.raises(RuntimeError):
+            CholeskyKernel().verify()

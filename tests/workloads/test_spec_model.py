@@ -1,0 +1,84 @@
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.code import CodeProfile
+from repro.trace.stream import ReferenceTrace
+from repro.workloads.spec.model import InstructionMix, PipelineCosts, SpecProxy
+
+
+def _dummy_builder(length, rng):
+    return ReferenceTrace.reads(range(0, 4 * length, 4))
+
+
+def _proxy(**kw):
+    defaults = dict(
+        name="test.bench",
+        description="test",
+        category="int",
+        mix=InstructionMix(),
+        code=CodeProfile(code_bytes=32 * 1024, hot_bytes=8 * 1024),
+        data_builder=_dummy_builder,
+    )
+    defaults.update(kw)
+    return SpecProxy(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_category(self):
+        with pytest.raises(ConfigError):
+            _proxy(category="mixed")
+
+    def test_rejects_negative_mix(self):
+        with pytest.raises(ConfigError):
+            InstructionMix(p_load=-0.1)
+
+    def test_rejects_mix_over_one(self):
+        with pytest.raises(ConfigError):
+            InstructionMix(p_load=0.5, p_store=0.3, p_fp=0.2, p_branch=0.1)
+
+
+class TestTraces:
+    def test_instruction_trace_length_and_determinism(self):
+        proxy = _proxy()
+        a = proxy.instruction_trace(5000, seed=3)
+        b = proxy.instruction_trace(5000, seed=3)
+        assert len(a) == 5000
+        assert a.addresses.tolist() == b.addresses.tolist()
+
+    def test_different_seeds_differ(self):
+        proxy = _proxy()
+        a = proxy.instruction_trace(5000, seed=1)
+        b = proxy.instruction_trace(5000, seed=2)
+        assert a.addresses.tolist() != b.addresses.tolist()
+
+    def test_data_trace_exact_length(self):
+        proxy = _proxy()
+        assert len(proxy.data_trace(1234, seed=0)) == 1234
+
+    def test_empty_data_builder_rejected(self):
+        proxy = _proxy(data_builder=lambda length, rng: ReferenceTrace.empty())
+        with pytest.raises(ConfigError):
+            proxy.data_trace(100)
+
+
+class TestBaseCpi:
+    def test_integer_code_is_near_one(self):
+        proxy = _proxy(
+            mix=InstructionMix(p_branch=0.0),
+            costs=PipelineCosts(dependency_fraction=0.0, mispredict_rate=0.0),
+        )
+        assert proxy.base_cpi() == pytest.approx(1.0)
+
+    def test_fp_dependencies_raise_cpi(self):
+        proxy = _proxy(
+            category="fp",
+            mix=InstructionMix(p_load=0.3, p_store=0.1, p_fp=0.38, p_branch=0.04),
+            costs=PipelineCosts(dependency_fraction=0.64),
+        )
+        # hydro2d-like: the paper's MicroSparc-II component is 1.74.
+        assert proxy.base_cpi() == pytest.approx(1.74, abs=0.05)
+
+    def test_branches_raise_cpi(self):
+        cheap = _proxy(costs=PipelineCosts(mispredict_rate=0.0))
+        costly = _proxy(costs=PipelineCosts(mispredict_rate=0.2))
+        assert costly.base_cpi() > cheap.base_cpi()

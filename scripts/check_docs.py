@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Fail when EXPERIMENTS.md drifts from the experiment artifacts.
+
+Regenerates EXPERIMENTS.md in memory from the checked-in
+``artifacts/experiments.json`` and diffs it against the checked-in
+document.  Run directly::
+
+    python scripts/check_docs.py
+
+or via the tier-1 suite (``tests/analysis/test_docs.py`` wraps the same
+check).  To fix a reported drift::
+
+    python -m repro docs --jobs 4
+
+which re-runs the experiments (instantly, if cached), refreshes the
+artifacts, and rewrites the document.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.analysis.docs import check_drift
+
+    drift = check_drift(REPO_ROOT)
+    if not drift:
+        print("EXPERIMENTS.md is in sync with artifacts/experiments.json")
+        return 0
+    print("EXPERIMENTS.md has drifted from artifacts/experiments.json:")
+    print("\n".join(drift[:120]))
+    if len(drift) > 120:
+        print(f"... ({len(drift) - 120} more diff lines)")
+    print("\nregenerate with: python -m repro docs")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

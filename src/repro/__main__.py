@@ -2,26 +2,40 @@
 
     python -m repro list                 # show available experiments
     python -m repro table4               # regenerate one table/figure
-    python -m repro all                  # regenerate everything
+    python -m repro all --jobs 4         # everything, across 4 workers
+    python -m repro all                  # second time: served from cache
+    python -m repro docs                 # regenerate EXPERIMENTS.md
     python -m repro figures13-17 --procs 1,2,4
 
-Rendered output matches what the paper's tables and figures report;
-EXPERIMENTS.md records the paper-vs-measured comparison.
+Rendered tables go to **stdout** and are byte-identical for any
+``--jobs`` value and cache state (fixed seeds, independent shards);
+progress, timing and the metrics summary go to stderr.  Results are
+cached under ``.repro-cache/`` keyed by (experiment, parameters, code
+fingerprint) — any source change invalidates the cache.  See
+``--metrics-out`` for the per-task JSON (wall time, cache hit/miss,
+event tallies, worker utilization).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 
-from repro.analysis import EXPERIMENTS
+from repro.analysis import CLI_KNOBS, SPECS, run_experiments
+from repro.analysis.docs import (
+    DEFAULT_ARTIFACTS_PATH,
+    DEFAULT_DOC_PATH,
+    build_artifacts,
+    generate_experiments_md,
+    render_result,
+    write_artifacts,
+)
+from repro.runner import ResultCache, default_cache_dir
 
 
-def _render(result) -> str:
-    if isinstance(result, list):
-        return "\n\n".join(item.render() for item in result)
-    return result.render()
+def _csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,7 +45,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), or 'all', or 'list'",
+        help="experiment name (see 'list'), 'all', 'docs', or 'list'",
     )
     parser.add_argument(
         "--procs",
@@ -44,37 +58,150 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="trace length for miss-rate/CPI experiments",
     )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=1,
+        help="worker processes for independent experiment shards (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, and do not store results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro-cache, or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write per-task run metrics (wall time, cache status, event "
+             "tallies) as JSON",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of the selection to run",
+    )
+    parser.add_argument(
+        "--skip",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated experiments to exclude from the selection",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=str(DEFAULT_ARTIFACTS_PATH),
+        metavar="PATH",
+        help="artifacts JSON written by 'docs' (default artifacts/experiments.json)",
+    )
+    parser.add_argument(
+        "--docs-out",
+        default=str(DEFAULT_DOC_PATH),
+        metavar="PATH",
+        help="EXPERIMENTS.md path written by 'docs'",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        for name, fn in EXPERIMENTS.items():
-            doc = (fn.__doc__ or "").strip().splitlines()
-            print(f"{name:14s} {doc[0] if doc else ''}")
+        for name, spec in SPECS.items():
+            print(f"{name:14s} {spec.paper_ref:28s} {spec.summary}")
         return 0
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    docs_mode = args.experiment == "docs"
+    if args.experiment in ("all", "docs"):
+        names = list(SPECS)
+    else:
+        names = [args.experiment]
+
+    requested = set(names)
+    if args.only:
+        requested &= set(_csv(args.only))
+    if args.skip:
+        requested -= set(_csv(args.skip))
+    selected = [name for name in names if name in requested]
+
+    unknown = sorted(
+        (set(names) | set(_csv(args.only or "")) | set(_csv(args.skip or "")))
+        - set(SPECS)
+    )
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        print(f"known: {', '.join(SPECS)}", file=sys.stderr)
+        return 2
+    if not selected:
+        print("selection is empty (check --only/--skip)", file=sys.stderr)
+        return 2
+    if docs_mode and (args.only or args.skip):
+        print("docs regenerates every experiment; --only/--skip do not apply",
+              file=sys.stderr)
         return 2
 
-    for name in names:
-        fn = EXPERIMENTS[name]
-        kwargs = {}
-        if args.procs and name == "figures13-17":
-            kwargs["proc_counts"] = tuple(
-                int(p) for p in args.procs.split(",")
+    # Validate the per-experiment knobs instead of silently dropping them:
+    # each flag is applied to the experiments that accept it, with a
+    # warning naming the ones that ignore it.
+    provided: dict[str, object] = {}
+    if args.procs is not None:
+        provided["procs"] = tuple(int(p) for p in _csv(args.procs))
+    if args.trace_len is not None:
+        provided["trace_len"] = args.trace_len
+    overrides: dict[str, dict[str, object]] = {}
+    for flag, value in provided.items():
+        takers = [n for n in selected if flag in SPECS[n].accepts]
+        ignored = [n for n in selected if flag not in SPECS[n].accepts]
+        option = "--" + flag.replace("_", "-")
+        if not takers:
+            print(
+                f"warning: {option} has no effect — none of the selected "
+                f"experiments ({', '.join(selected)}) accept it",
+                file=sys.stderr,
             )
-        if args.trace_len and name in (
-            "figure7", "figure8", "figure11", "figure12", "table3", "table4",
-            "section5.6",
-        ):
-            kwargs["trace_len"] = args.trace_len
-        started = time.time()
-        result = fn(**kwargs)
-        print(_render(result))
-        print(f"[{name}: {time.time() - started:.1f}s]\n")
+            continue
+        if ignored:
+            print(
+                f"note: {option} ignored by {', '.join(ignored)} "
+                "(not applicable)",
+                file=sys.stderr,
+            )
+        for name in takers:
+            overrides.setdefault(name, {})[CLI_KNOBS[flag]] = value
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+
+    results, metrics = run_experiments(
+        selected, overrides, jobs=args.jobs, cache=cache
+    )
+
+    for name in selected:
+        print(render_result(results[name]))
+        tasks = [t for t in metrics.tasks if t.experiment == name]
+        wall = sum(t.wall_s for t in tasks)
+        hits = sum(1 for t in tasks if t.cache == "hit")
+        status = f"{hits}/{len(tasks)} cached" if cache else "cache off"
+        print(f"[{name}: {wall:.1f}s, {status}]\n", file=sys.stderr)
+
+    print(metrics.render(), file=sys.stderr)
+    if args.metrics_out:
+        metrics.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+
+    if docs_mode:
+        fingerprint = cache.fingerprint if cache else None
+        if fingerprint is None:
+            from repro.runner import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        artifacts = build_artifacts(results, metrics, fingerprint)
+        write_artifacts(args.artifacts, artifacts)
+        Path(args.docs_out).write_text(generate_experiments_md(artifacts))
+        print(f"wrote {args.artifacts} and {args.docs_out}", file=sys.stderr)
+
     return 0
 
 

@@ -125,11 +125,17 @@ class MissRateExperiment:
         return f"{self.title}\n" + ascii_table(["benchmark"] + self.columns, body)
 
 
-def figure7(trace_len: int = 120_000, seed: int = 1) -> MissRateExperiment:
-    """I-cache miss rates: proposed vs conventional direct-mapped."""
+def figure7(trace_len: int = 120_000, seed: int = 1,
+            names: tuple[str, ...] | None = None) -> MissRateExperiment:
+    """I-cache miss rates: proposed vs conventional direct-mapped.
+
+    ``names`` restricts the benchmark set (the runner shards the full
+    sweep one benchmark per task; each benchmark's trace and caches are
+    independent, so shards merge losslessly).
+    """
     columns = ["proposed 8K/512B"] + [f"DM {s}K/32B" for s in CONVENTIONAL_I_SIZES]
     rows = {}
-    for name in ALL_NAMES:
+    for name in names if names is not None else ALL_NAMES:
         trace = get_proxy(name).instruction_trace(trace_len, seed)
         proposed = proposed_icache()
         proposed.run(trace)
@@ -139,11 +145,12 @@ def figure7(trace_len: int = 120_000, seed: int = 1) -> MissRateExperiment:
         ]
         rows[name] = [proposed.stats.miss_rate] + conv
     return MissRateExperiment(
-        "Figure 7: instruction cache miss rates", list(ALL_NAMES), columns, rows
+        "Figure 7: instruction cache miss rates", list(rows), columns, rows
     )
 
 
-def figure8(trace_len: int = 120_000, seed: int = 1) -> MissRateExperiment:
+def figure8(trace_len: int = 120_000, seed: int = 1,
+            names: tuple[str, ...] | None = None) -> MissRateExperiment:
     """D-cache miss rates: proposed (with/without victim) vs conventional."""
     columns = (
         ["proposed 16K 2-way/512B", "proposed + victim"]
@@ -151,7 +158,7 @@ def figure8(trace_len: int = 120_000, seed: int = 1) -> MissRateExperiment:
         + ["2-way 16K/32B"]
     )
     rows = {}
-    for name in ALL_NAMES:
+    for name in names if names is not None else ALL_NAMES:
         trace = get_proxy(name).data_trace(trace_len, seed)
         plain = proposed_dcache(with_victim=False)
         plain.run(trace)
@@ -164,7 +171,7 @@ def figure8(trace_len: int = 120_000, seed: int = 1) -> MissRateExperiment:
         two_way = set_assoc_miss_rate(trace.addresses, CacheGeometry(16 * KB, 32, 2))
         rows[name] = [plain.stats.miss_rate, vict.stats.miss_rate] + conv + [two_way]
     return MissRateExperiment(
-        "Figure 8: data cache miss rates", list(ALL_NAMES), columns, rows
+        "Figure 8: data cache miss rates", list(rows), columns, rows
     )
 
 
@@ -189,10 +196,11 @@ def figure11(
     l2_latency: float = 6.0,
     trace_len: int = 60_000,
     instructions: int = 10_000,
+    names: tuple[str, ...] = ("141.apsi", "126.gcc"),
 ) -> CPICurveExperiment:
     """Conventional-CPU CPI vs main memory latency (apsi high, gcc low)."""
     curves: dict[str, list[float]] = {}
-    for name in ("141.apsi", "126.gcc"):
+    for name in names:
         proxy = get_proxy(name)
         curves[name] = [
             conventional_cpi(
@@ -214,10 +222,11 @@ def figure12(
     mem_latencies: tuple[float, ...] = (2, 4, 6, 8, 12, 16),
     trace_len: int = 60_000,
     instructions: int = 10_000,
+    names: tuple[str, ...] = ("141.apsi", "126.gcc"),
 ) -> CPICurveExperiment:
     """Integrated-device CPI vs DRAM access latency (6 cycles = 30 ns)."""
     curves: dict[str, list[float]] = {}
-    for name in ("141.apsi", "126.gcc"):
+    for name in names:
         proxy = get_proxy(name)
         curves[name] = [
             integrated_cpi(

@@ -17,6 +17,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.common import tally
 from repro.common.errors import SimulationError
 from repro.mp.ops import Barrier, Compute, Lock, Op, Read, Unlock, Write
 from repro.mp.system import MPSystem
@@ -154,6 +155,7 @@ class MPEngine:
         if not all(finished):
             stuck = [i for i, done in enumerate(finished) if not done]
             raise SimulationError(f"deadlock: processors {stuck} never finished")
+        tally.add("mp_ops", total_ops)
         return MPResult(
             finish_times=time,
             ops_executed=ops_executed,

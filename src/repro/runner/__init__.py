@@ -1,0 +1,45 @@
+"""Parallel experiment runner: process pool + result cache + metrics.
+
+The pieces, each usable on its own:
+
+- :mod:`repro.runner.fingerprint` — SHA-256 over the package sources;
+  any code change invalidates every cached result.
+- :mod:`repro.runner.cache` — content-addressed on-disk store keyed by
+  ``(call id, kwargs, code fingerprint)``.
+- :mod:`repro.runner.core` — :class:`Task` and :func:`run_tasks`, the
+  pool executor (``jobs=1`` runs inline, deterministically identical).
+- :mod:`repro.runner.metrics` — per-task wall time / cache status /
+  event tallies, exported as JSON and a rendered summary.
+
+The experiment-level API (sharding Table 3 into its 18 benchmarks and
+so on) lives in :mod:`repro.analysis.registry`, which builds on these.
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheEntry,
+    ResultCache,
+    cached_call,
+    call_id_for,
+    canonical_kwargs,
+    default_cache_dir,
+)
+from repro.runner.core import Task, run_tasks
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.metrics import METRICS_SCHEMA_VERSION, RunMetrics, TaskMetrics
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "METRICS_SCHEMA_VERSION",
+    "CacheEntry",
+    "ResultCache",
+    "RunMetrics",
+    "Task",
+    "TaskMetrics",
+    "cached_call",
+    "call_id_for",
+    "canonical_kwargs",
+    "code_fingerprint",
+    "default_cache_dir",
+    "run_tasks",
+]

@@ -1,0 +1,128 @@
+"""Content-addressed on-disk result cache.
+
+Keys combine the call identity (experiment/shard or function qualname),
+the canonicalized keyword arguments (which include every seed and size
+parameter), and the :func:`~repro.runner.fingerprint.code_fingerprint`
+of the package, so a cached entry can only ever be returned for the
+exact computation that produced it.
+
+Layout under the cache root (default ``.repro-cache``, overridable with
+``$REPRO_CACHE_DIR`` or ``--cache-dir``)::
+
+    .repro-cache/
+      ab/
+        abcdef....pkl     # pickled experiment result object
+        abcdef....json    # metadata: call id, kwargs, fingerprint,
+                          # wall time and event tallies of the miss run
+
+Writes go through a temp file + rename so a crashed run never leaves a
+truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def canonical_kwargs(kwargs: dict[str, Any]) -> str:
+    """A stable textual form of ``kwargs`` for hashing (sorted JSON)."""
+    return json.dumps(kwargs, sort_keys=True, default=repr)
+
+
+@dataclass
+class CacheEntry:
+    result: Any
+    meta: dict[str, Any]
+
+
+class ResultCache:
+    """Pickle store addressed by ``(call id, kwargs, code fingerprint)``."""
+
+    def __init__(self, root: Path | str | None = None,
+                 fingerprint: str | None = None) -> None:
+        from repro.runner.fingerprint import code_fingerprint
+
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def key(self, call_id: str, kwargs: dict[str, Any]) -> str:
+        import hashlib
+
+        payload = "\x1f".join([call_id, canonical_kwargs(kwargs),
+                               self.fingerprint])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.pkl", shard / f"{key}.json"
+
+    def load(self, key: str) -> CacheEntry | None:
+        pkl, meta = self._paths(key)
+        if not pkl.exists():
+            return None
+        try:
+            with pkl.open("rb") as fh:
+                result = pickle.load(fh)
+            info = json.loads(meta.read_text()) if meta.exists() else {}
+        except (OSError, pickle.PickleError, json.JSONDecodeError):
+            return None  # treat a damaged entry as a miss
+        return CacheEntry(result=result, meta=info)
+
+    def store(self, key: str, result: Any, meta: dict[str, Any]) -> None:
+        pkl, meta_path = self._paths(key)
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        tmp = pkl.with_suffix(f".tmp{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh)
+        tmp.replace(pkl)
+        tmp_meta = meta_path.with_suffix(f".tmpmeta{os.getpid()}")
+        tmp_meta.write_text(json.dumps(meta, sort_keys=True, default=repr))
+        tmp_meta.replace(meta_path)
+
+
+def call_id_for(fn: Callable) -> str:
+    return f"{fn.__module__}.{fn.__qualname__}"
+
+
+def cached_call(fn: Callable, kwargs: dict[str, Any],
+                cache: ResultCache | None, args: tuple = ()) -> Any:
+    """Run ``fn(*args, **kwargs)`` through the cache (``cache=None``
+    disables).
+
+    Used by the benchmark harness so tier-2 suites reuse results the CLI
+    (or a previous benchmark run) already computed.  Only cache
+    module-level functions whose arguments fully determine the result —
+    closures capturing hidden state belong outside the cache.
+    """
+    from repro.common import tally
+
+    if cache is None:
+        return fn(*args, **kwargs)
+    call_kwargs = {"*args": list(args), **kwargs} if args else kwargs
+    key = cache.key(call_id_for(fn), call_kwargs)
+    entry = cache.load(key)
+    if entry is not None:
+        return entry.result
+    before = tally.snapshot()
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    cache.store(key, result, {
+        "call_id": call_id_for(fn),
+        "kwargs": canonical_kwargs(call_kwargs),
+        "fingerprint": cache.fingerprint,
+        "wall_s": time.perf_counter() - started,
+        "tallies": tally.since(before),
+    })
+    return result

@@ -1,0 +1,44 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached experiment result is only valid for the code that produced it.
+The fingerprint is a SHA-256 over the names and contents of every
+``*.py`` file under the ``repro`` package (or any other tree passed in),
+so *any* source change — a constant, a model, a renderer — invalidates
+every cached result at once.  Coarse, but safe: experiments are cheap to
+re-run and a stale number in EXPERIMENTS.md is worse than a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+_CACHE: dict[Path, str] = {}
+
+
+def code_fingerprint(root: Path | None = None, *, use_cache: bool = True) -> str:
+    """Hex digest over all Python sources under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory.  The
+    result is cached per root for the life of the process (the source
+    tree does not change mid-run).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = root.resolve()
+    if use_cache and root in _CACHE:
+        return _CACHE[root]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    value = digest.hexdigest()
+    if use_cache:
+        _CACHE[root] = value
+    return value

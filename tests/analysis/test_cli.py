@@ -1,4 +1,15 @@
+import json
+
+import pytest
+
 from repro.__main__ import main
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the CLI cache at a per-test directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
 
 
 class TestCLI:
@@ -7,22 +18,77 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "table4" in out
         assert "figures13-17" in out
+        assert "Section" in out  # paper references are shown
 
     def test_unknown_experiment(self, capsys):
         assert main(["bogus"]) == 2
         assert "unknown" in capsys.readouterr().err
 
-    def test_run_table1(self, capsys):
+    def test_run_table1(self, capsys, cache_dir):
         assert main(["table1"]) == 0
-        out = capsys.readouterr().out
-        assert "SparcStation-5" in out
-        assert "[table1:" in out
+        captured = capsys.readouterr()
+        assert "SparcStation-5" in captured.out
+        assert "[table1:" in captured.err
 
-    def test_run_with_trace_len(self, capsys):
+    def test_run_with_trace_len(self, capsys, cache_dir):
         assert main(["section5.6", "--trace-len", "15000"]) == 0
         assert "bank-count" in capsys.readouterr().out
 
-    def test_figures_with_procs(self, capsys):
-        # Smallest possible MP sweep to keep the test quick.
+    def test_procs_warns_when_not_applicable(self, capsys, cache_dir):
+        # figure2 ignores --procs: the run still succeeds, but the flag
+        # is called out instead of being silently dropped.
         assert main(["figure2", "--procs", "1"]) == 0
-        assert "Figure 2" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Figure 2" in captured.out
+        assert "--procs" in captured.err
+        assert "no effect" in captured.err
+
+    def test_trace_len_warns_when_not_applicable(self, capsys, cache_dir):
+        assert main(["table1", "--trace-len", "5000"]) == 0
+        err = capsys.readouterr().err
+        assert "--trace-len" in err and "no effect" in err
+
+    def test_unknown_only_rejected(self, capsys):
+        assert main(["all", "--only", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_empty_selection_rejected(self, capsys):
+        assert main(["table1", "--skip", "table1"]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_only_and_skip_filter(self, capsys, cache_dir):
+        assert main([
+            "all", "--only", "table1,figure2", "--skip", "figure2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "SparcStation-5" in captured.out
+        assert "Figure 2" not in captured.out
+
+    def test_cache_round_trip_and_no_cache(self, capsys, cache_dir):
+        assert main(["table1"]) == 0
+        first = capsys.readouterr()
+        assert "0/1 cached" in first.err
+        assert main(["table1"]) == 0
+        second = capsys.readouterr()
+        assert "1/1 cached" in second.err
+        assert second.out == first.out  # byte-identical rendered tables
+        assert main(["table1", "--no-cache"]) == 0
+        third = capsys.readouterr()
+        assert "cache off" in third.err
+        assert third.out == first.out
+
+    def test_metrics_out(self, capsys, cache_dir, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["table1", "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["tasks"][0]["experiment"] == "table1"
+
+    def test_jobs_flag_parses(self, capsys, cache_dir):
+        assert main(["table1", "--jobs", "2", "--no-cache"]) == 0
+        assert "SparcStation-5" in capsys.readouterr().out
+
+    def test_docs_rejects_partial_selection(self, capsys):
+        assert main(["docs", "--only", "table1"]) == 2
+        assert "docs" in capsys.readouterr().err

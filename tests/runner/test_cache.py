@@ -1,0 +1,80 @@
+"""Result cache: hit/miss semantics and key sensitivity."""
+
+from repro.runner import ResultCache, cached_call
+
+
+def _cache(tmp_path, fingerprint="f" * 64):
+    return ResultCache(tmp_path / "cache", fingerprint=fingerprint)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {"n": 3})
+        assert cache.load(key) is None
+        cache.store(key, {"value": 42}, {"tallies": {"gspn_firings": 7}})
+        entry = cache.load(key)
+        assert entry is not None
+        assert entry.result == {"value": 42}
+        assert entry.meta["tallies"] == {"gspn_firings": 7}
+
+    def test_key_depends_on_kwargs(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cache.key("experiment:demo", {"n": 3}) != cache.key(
+            "experiment:demo", {"n": 4}
+        )
+
+    def test_key_depends_on_call_id(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cache.key("experiment:a", {}) != cache.key("experiment:b", {})
+
+    def test_kwarg_order_is_canonical(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cache.key("x", {"a": 1, "b": 2}) == cache.key(
+            "x", {"b": 2, "a": 1}
+        )
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", fingerprint="a" * 64)
+        new = ResultCache(tmp_path / "cache", fingerprint="b" * 64)
+        key = old.key("experiment:demo", {"n": 3})
+        old.store(key, "stale", {})
+        # The same logical computation under new code is a different key,
+        # so the stale entry can never be returned.
+        assert new.key("experiment:demo", {"n": 3}) != key
+        assert new.load(new.key("experiment:demo", {"n": 3})) is None
+
+    def test_damaged_entry_is_a_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {})
+        cache.store(key, [1, 2, 3], {})
+        pkl, _ = cache._paths(key)
+        pkl.write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+
+
+def _double(x=0):
+    return 2 * x
+
+
+class TestCachedCall:
+    def test_roundtrip_and_reuse(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cached_call(_double, {"x": 4}, cache) == 8
+        key = cache.key(
+            f"{_double.__module__}.{_double.__qualname__}", {"x": 4}
+        )
+        entry = cache.load(key)
+        assert entry is not None and entry.result == 8
+        # Poison the cache to prove the second call is served from it.
+        cache.store(key, 99, entry.meta)
+        assert cached_call(_double, {"x": 4}, cache) == 99
+
+    def test_positional_args_in_key(self, tmp_path):
+        cache = _cache(tmp_path)
+        assert cached_call(_double, {}, cache, args=(5,)) == 10
+        assert cached_call(_double, {}, cache, args=(6,)) == 12
+
+    def test_disabled(self, tmp_path):
+        assert cached_call(_double, {"x": 4}, None) == 8
+        assert not (tmp_path / "cache").exists()

@@ -1,0 +1,86 @@
+"""Task executor: jobs=1 vs jobs=N equality, caching, metrics."""
+
+import json
+
+from repro.common import tally
+from repro.runner import (
+    METRICS_SCHEMA_VERSION,
+    ResultCache,
+    Task,
+    run_tasks,
+)
+
+
+def _work(n=1, seed=0):
+    # Deterministic in its arguments, like every experiment function.
+    tally.add("gspn_firings", 10 * n)
+    return sum((seed + i) ** 2 for i in range(n))
+
+
+def _tasks():
+    return [
+        Task("demo", str(n), _work, {"n": n, "seed": n}) for n in (1, 2, 3, 4)
+    ]
+
+
+class TestRunTasks:
+    def test_serial_parallel_equality(self):
+        serial, _ = run_tasks(_tasks(), jobs=1)
+        parallel, _ = run_tasks(_tasks(), jobs=3)
+        assert serial == parallel
+
+    def test_results_keyed_by_shard(self):
+        results, _ = run_tasks(_tasks(), jobs=1)
+        assert results[("demo", "2")] == _work(n=2, seed=2)
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="c" * 64)
+        first, m1 = run_tasks(_tasks(), jobs=1, cache=cache)
+        assert m1.misses == 4 and m1.hits == 0
+        second, m2 = run_tasks(_tasks(), jobs=2, cache=cache)
+        assert m2.hits == 4 and m2.misses == 0
+        assert first == second
+        # Tallies survive the cache: hits report the original counts.
+        assert m2.tallies_for("demo") == m1.tallies_for("demo")
+
+    def test_fingerprint_change_forces_recompute(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="c" * 64)
+        run_tasks(_tasks(), jobs=1, cache=old)
+        new = ResultCache(tmp_path, fingerprint="d" * 64)
+        _, metrics = run_tasks(_tasks(), jobs=1, cache=new)
+        assert metrics.misses == 4
+
+    def test_metrics_order_and_tallies(self):
+        _, metrics = run_tasks(_tasks(), jobs=2)
+        assert [t.shard for t in metrics.tasks] == ["1", "2", "3", "4"]
+        assert metrics.tallies_for("demo") == {"gspn_firings": 100}
+
+
+class TestMetricsJSON:
+    def test_schema(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="c" * 64)
+        _, metrics = run_tasks(_tasks(), jobs=2, cache=cache)
+        out = tmp_path / "metrics.json"
+        metrics.write(out)
+        data = json.loads(out.read_text())
+        assert data["schema"] == METRICS_SCHEMA_VERSION
+        assert data["jobs"] == 2
+        assert data["fingerprint"] == "c" * 64
+        assert data["cache_misses"] == 4
+        assert 0.0 <= data["utilization"] <= 1.0
+        assert data["wall_s"] >= 0 and data["busy_s"] >= 0
+        assert len(data["tasks"]) == 4
+        for task in data["tasks"]:
+            assert set(task) == {
+                "experiment", "shard", "cache", "wall_s", "worker",
+                "tallies", "key",
+            }
+            assert task["cache"] in ("hit", "miss", "off")
+            assert task["tallies"] == {"gspn_firings": 10 * int(task["shard"])}
+
+    def test_render_mentions_cache_and_jobs(self):
+        _, metrics = run_tasks(_tasks(), jobs=1)
+        text = metrics.render()
+        assert "demo" in text
+        assert "jobs=1" in text
+        assert "utilization" in text

@@ -1,0 +1,52 @@
+"""Code fingerprinting: stability and invalidation."""
+
+from pathlib import Path
+
+from repro.runner import code_fingerprint
+
+
+def _tree(tmp_path: Path) -> Path:
+    root = tmp_path / "pkg"
+    (root / "sub").mkdir(parents=True)
+    (root / "a.py").write_text("A = 1\n")
+    (root / "sub" / "b.py").write_text("B = 2\n")
+    return root
+
+
+class TestCodeFingerprint:
+    def test_deterministic(self, tmp_path):
+        root = _tree(tmp_path)
+        first = code_fingerprint(root, use_cache=False)
+        second = code_fingerprint(root, use_cache=False)
+        assert first == second
+        assert len(first) == 64  # sha256 hex
+
+    def test_content_change_invalidates(self, tmp_path):
+        root = _tree(tmp_path)
+        before = code_fingerprint(root, use_cache=False)
+        (root / "sub" / "b.py").write_text("B = 3\n")
+        assert code_fingerprint(root, use_cache=False) != before
+
+    def test_new_file_invalidates(self, tmp_path):
+        root = _tree(tmp_path)
+        before = code_fingerprint(root, use_cache=False)
+        (root / "c.py").write_text("")
+        assert code_fingerprint(root, use_cache=False) != before
+
+    def test_rename_invalidates(self, tmp_path):
+        root = _tree(tmp_path)
+        before = code_fingerprint(root, use_cache=False)
+        (root / "a.py").rename(root / "z.py")
+        assert code_fingerprint(root, use_cache=False) != before
+
+    def test_pycache_ignored(self, tmp_path):
+        root = _tree(tmp_path)
+        before = code_fingerprint(root, use_cache=False)
+        cachedir = root / "__pycache__"
+        cachedir.mkdir()
+        (cachedir / "a.cpython-311.py").write_text("junk")
+        assert code_fingerprint(root, use_cache=False) == before
+
+    def test_package_default(self):
+        # Fingerprinting the installed package works and is cached.
+        assert code_fingerprint() == code_fingerprint()

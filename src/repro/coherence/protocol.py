@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ConfigError, ProtocolError
 from repro.common.params import COHERENCE_UNIT_BYTES
 
 
@@ -27,22 +27,44 @@ class BlockState(Enum):
     EXCLUSIVE = "exclusive"
 
 
+def _at(addr: int | None) -> str:
+    return f" at block 0x{addr:x}" if addr is not None else ""
+
+
 @dataclass
 class BlockEntry:
     state: BlockState = BlockState.UNOWNED
     sharers: set[int] = field(default_factory=set)
     owner: int | None = None
 
-    def check(self) -> None:
-        """Protocol invariants (exercised heavily by the test suite)."""
+    def check(self, num_nodes: int | None = None, addr: int | None = None) -> None:
+        """Protocol invariants (exercised heavily by the test suite).
+
+        ``num_nodes`` additionally bounds every owner/sharer id to the
+        configured machine size; ``addr`` names the offending block in the
+        :class:`ProtocolError` message.
+        """
         if self.state is BlockState.UNOWNED and (self.sharers or self.owner is not None):
-            raise ProtocolError("UNOWNED block has copies")
+            raise ProtocolError(f"UNOWNED block has copies{_at(addr)}")
         if self.state is BlockState.SHARED and (not self.sharers or self.owner is not None):
-            raise ProtocolError("SHARED block inconsistent")
+            raise ProtocolError(f"SHARED block inconsistent{_at(addr)}")
         if self.state is BlockState.EXCLUSIVE and (
             self.owner is None or self.sharers
         ):
-            raise ProtocolError("EXCLUSIVE block inconsistent")
+            raise ProtocolError(f"EXCLUSIVE block inconsistent{_at(addr)}")
+        ids = set(self.sharers)
+        if self.owner is not None:
+            ids.add(self.owner)
+        negative = sorted(i for i in ids if i < 0)
+        if negative:
+            raise ProtocolError(f"negative node id(s) {negative}{_at(addr)}")
+        if num_nodes is not None:
+            out_of_range = sorted(i for i in ids if i >= num_nodes)
+            if out_of_range:
+                raise ProtocolError(
+                    f"node id(s) {out_of_range} out of range for a "
+                    f"{num_nodes}-node system{_at(addr)}"
+                )
 
 
 @dataclass
@@ -57,15 +79,35 @@ class ProtocolStats:
 
 
 class Directory:
-    """All directory entries, keyed by block address."""
+    """All directory entries, keyed by block address.
 
-    def __init__(self, block_bytes: int = COHERENCE_UNIT_BYTES) -> None:
+    ``num_nodes``, when given, makes every runtime invariant check also
+    validate node ids (requester, home, owner, sharers) against the
+    configured machine size instead of accepting arbitrary ints.
+    """
+
+    def __init__(
+        self,
+        block_bytes: int = COHERENCE_UNIT_BYTES,
+        num_nodes: int | None = None,
+    ) -> None:
+        if num_nodes is not None and num_nodes < 1:
+            raise ConfigError("num_nodes must be positive when given")
         self.block_bytes = block_bytes
+        self.num_nodes = num_nodes
         self._entries: dict[int, BlockEntry] = {}
         self.stats = ProtocolStats()
 
     def block_of(self, addr: int) -> int:
         return addr - (addr % self.block_bytes)
+
+    def _check_node(self, node: int, role: str, addr: int) -> None:
+        if node < 0 or (self.num_nodes is not None and node >= self.num_nodes):
+            bound = self.num_nodes if self.num_nodes is not None else "?"
+            raise ProtocolError(
+                f"{role} {node} out of range for a {bound}-node "
+                f"system{_at(self.block_of(addr))}"
+            )
 
     def entry(self, addr: int) -> BlockEntry:
         block = self.block_of(addr)
@@ -89,8 +131,10 @@ class Directory:
 
     def record_read(self, addr: int, requester: int, home: int) -> set[int]:
         """A read by ``requester`` reaches the home directory."""
+        self._check_node(requester, "requester", addr)
+        self._check_node(home, "home", addr)
         entry = self.entry(addr)
-        entry.check()
+        entry.check(self.num_nodes, self.block_of(addr))
         demoted: set[int] = set()
         if entry.state is BlockState.EXCLUSIVE and entry.owner != requester:
             # Owner writes back; both keep shared copies (or home memory
@@ -109,13 +153,15 @@ class Directory:
                 entry.state = BlockState.SHARED
         elif entry.state is BlockState.SHARED and not entry.sharers:
             entry.state = BlockState.UNOWNED
-        entry.check()
+        entry.check(self.num_nodes, self.block_of(addr))
         return demoted
 
     def record_write(self, addr: int, requester: int, home: int) -> set[int]:
         """A write by ``requester``: invalidate every other copy."""
+        self._check_node(requester, "requester", addr)
+        self._check_node(home, "home", addr)
         entry = self.entry(addr)
-        entry.check()
+        entry.check(self.num_nodes, self.block_of(addr))
         victims = self.copies_to_invalidate(addr, requester)
         if victims:
             self.stats.invalidations_sent += len(victims)
@@ -130,11 +176,12 @@ class Directory:
             entry.state = BlockState.EXCLUSIVE
             entry.sharers = set()
             entry.owner = requester
-        entry.check()
+        entry.check(self.num_nodes, self.block_of(addr))
         return victims
 
     def record_eviction(self, addr: int, node: int) -> None:
         """``node`` dropped its copy (cache replacement)."""
+        self._check_node(node, "evicting node", addr)
         entry = self.entry(addr)
         if entry.state is BlockState.EXCLUSIVE and entry.owner == node:
             self.stats.writebacks += 1
@@ -144,7 +191,7 @@ class Directory:
             entry.sharers.discard(node)
             if entry.state is BlockState.SHARED and not entry.sharers:
                 entry.state = BlockState.UNOWNED
-        entry.check()
+        entry.check(self.num_nodes, self.block_of(addr))
 
     def is_remote_exclusive(self, addr: int, node: int) -> bool:
         entry = self.entry(addr)

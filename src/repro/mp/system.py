@@ -78,7 +78,7 @@ class MPSystem:
         self.kind = kind
         self.latencies = latencies or MPLatencies()
         self.layout = layout or Layout(num_nodes)
-        self.directory = Directory()
+        self.directory = Directory(num_nodes=num_nodes)
         self.fabric = Fabric(device_params)
         self.stats = AccessStats()
         self.node_stats = [AccessStats() for _ in range(num_nodes)]

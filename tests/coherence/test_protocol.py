@@ -133,3 +133,57 @@ def test_single_writer_multiple_readers_invariant(ops):
         entry.check()
         if entry.state is BlockState.EXCLUSIVE:
             assert len(entry.sharers) == 0
+
+
+class TestConfiguredNodeCount:
+    """With ``num_nodes`` configured, node ids are validated everywhere."""
+
+    def test_requester_out_of_range_rejected(self):
+        directory = Directory(num_nodes=4)
+        with pytest.raises(ProtocolError, match=r"requester 7 out of range"):
+            directory.record_read(0x100, requester=7, home=0)
+        with pytest.raises(ProtocolError, match=r"requester 4 out of range"):
+            directory.record_write(0x100, requester=4, home=0)
+
+    def test_home_out_of_range_rejected(self):
+        directory = Directory(num_nodes=2)
+        with pytest.raises(ProtocolError, match=r"home 5 out of range"):
+            directory.record_read(0x100, requester=1, home=5)
+
+    def test_eviction_by_unknown_node_rejected(self):
+        directory = Directory(num_nodes=2)
+        with pytest.raises(ProtocolError, match=r"evicting node 3"):
+            directory.record_eviction(0x100, node=3)
+
+    def test_negative_node_rejected_even_unconfigured(self):
+        directory = Directory()
+        with pytest.raises(ProtocolError, match=r"requester -1"):
+            directory.record_read(0x100, requester=-1, home=0)
+
+    def test_error_names_the_block_address(self):
+        directory = Directory(num_nodes=2)
+        with pytest.raises(ProtocolError, match=r"at block 0x140"):
+            directory.record_write(0x145, requester=9, home=0)
+
+    def test_entry_check_bounds_owner_and_sharers(self):
+        entry = BlockEntry(state=BlockState.EXCLUSIVE, owner=12)
+        entry.check()  # arbitrary int still fine when size unknown
+        with pytest.raises(ProtocolError, match=r"node id\(s\) \[12\].*4-node"):
+            entry.check(num_nodes=4)
+        shared = BlockEntry(state=BlockState.SHARED, sharers={1, 5, 9})
+        with pytest.raises(ProtocolError, match=r"\[5, 9\]"):
+            shared.check(num_nodes=4, addr=0x20)
+        with pytest.raises(ProtocolError, match=r"negative node id"):
+            BlockEntry(state=BlockState.SHARED, sharers={-2}).check()
+
+    def test_in_range_ids_accepted(self):
+        directory = Directory(num_nodes=4)
+        directory.record_read(0x100, requester=3, home=0)
+        victims = directory.record_write(0x100, requester=1, home=0)
+        assert victims == {3}
+
+    def test_nonpositive_num_nodes_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            Directory(num_nodes=0)

@@ -6,6 +6,7 @@
     python -m repro all                  # second time: served from cache
     python -m repro docs                 # regenerate EXPERIMENTS.md
     python -m repro figures13-17 --procs 1,2,4
+    python -m repro check                # static verification suite
 
 Rendered tables go to **stdout** and are byte-identical for any
 ``--jobs`` value and cache state (fixed seeds, independent shards);
@@ -39,13 +40,22 @@ def _csv(value: str) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "check":
+        # The verification suite has its own flags (--only over passes,
+        # --format); hand off before the experiment parser sees them.
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'docs', or 'list'",
+        help="experiment name (see 'list'), 'all', 'docs', 'list', or "
+             "'check' (static verification; see 'check --help')",
     )
     parser.add_argument(
         "--procs",

@@ -1,0 +1,44 @@
+"""repro.check: static verification of the paper's three model layers.
+
+``python -m repro check`` runs three passes, each guarding a different
+pillar of the evaluation *before* any simulation happens (and before a
+silent model bug can poison the content-addressed result cache):
+
+- ``protocol`` — exhaustively model-checks the directory-based
+  write-invalidate protocol of :mod:`repro.coherence.protocol`
+  (Sections 4.2/6.1) for small node/block configurations, including
+  in-flight requests and invalidations, against safety invariants
+  (single writer, directory/cache agreement, ECC-directory
+  encodability) and deadlock-freedom.  Violations come with a
+  counterexample trace.
+- ``gspn`` — structural analysis of every registered GSPN in
+  :mod:`repro.gspn.models` (Figures 9-12 and the Section 5.6 bank
+  sweep): incidence matrix, P-/T-invariants by exact rational
+  arithmetic, token-conservation coverage of every resource place,
+  structurally dead transitions, and immediate-conflict weight sanity.
+- ``lints`` — an AST linter over ``src/repro`` enforcing the
+  determinism contract the result cache depends on: no module-level
+  RNG state, no wall-clock reads in simulator cores, no float ``==``
+  on simulated quantities, no mutable default arguments.  Findings can
+  be suppressed inline with ``# repro: allow(<rule>)``.
+
+See CHECKS.md at the repository root for the full pass-by-pass guide.
+"""
+
+from repro.check.gspn import analyze_net, check_gspn_models
+from repro.check.lints import LINT_RULES, lint_paths, lint_source
+from repro.check.protocol import ProtocolModelChecker, check_protocol
+from repro.check.report import CheckReport, Finding, PassResult
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "LINT_RULES",
+    "PassResult",
+    "ProtocolModelChecker",
+    "analyze_net",
+    "check_gspn_models",
+    "check_protocol",
+    "lint_paths",
+    "lint_source",
+]

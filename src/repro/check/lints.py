@@ -1,0 +1,255 @@
+"""Simulation-discipline lints: the determinism contract, enforced.
+
+The result cache (PR 1) assumes an experiment's output is a pure
+function of (code fingerprint, parameters, seed).  These AST lints
+reject the ways that assumption quietly breaks:
+
+- ``global-rng`` — any use of the stdlib ``random`` module or of
+  ``numpy.random``'s module-level state (``np.random.seed``,
+  ``np.random.rand`` ...).  Only explicit ``numpy.random.Generator``
+  objects threaded through :mod:`repro.common.rng` are allowed
+  (``default_rng``/``Generator``/``SeedSequence``/``BitGenerator``
+  references are therefore exempt).
+- ``wall-clock`` — reading real time (``time.time``,
+  ``time.perf_counter``, ``datetime.now`` ...) inside simulator code.
+  Simulated time must come from the event loop, never the host clock.
+- ``float-eq`` — ``==``/``!=`` against a float literal; simulated
+  quantities accumulate rounding, so exact comparison is a latent
+  heisenbug.  Compare with tolerances or integers instead.
+- ``mutable-default`` — a list/dict/set default argument is shared
+  across calls and across experiments, leaking state between runs.
+
+A finding on a line containing ``# repro: allow(<rule>[, <rule>...])``
+is suppressed — the suppression is part of the reviewed source, so every
+exemption is deliberate and visible in diffs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.check.report import Finding, PassResult
+
+LINT_RULES: tuple[str, ...] = (
+    "global-rng",
+    "wall-clock",
+    "float-eq",
+    "mutable-default",
+)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+# numpy.random attributes that are *not* module-level state.
+_NP_RANDOM_OK = {"Generator", "default_rng", "SeedSequence", "BitGenerator",
+                 "PCG64", "RandomState"}  # RandomState as a *type* reference
+_WALL_CLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns",
+                    "perf_counter", "perf_counter_ns", "process_time",
+                    "localtime", "gmtime"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> rules allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            allowed[lineno] = {rule for rule in rules if rule}
+    return allowed
+
+
+class _Imports(ast.NodeVisitor):
+    """Which local names are bound to the modules the rules care about."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # local name -> module path
+        self.members: dict[str, str] = {}  # local name -> module.member
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            qualified = f"{node.module}.{alias.name}"
+            # `from numpy import random` binds a module, not a member.
+            if qualified in ("numpy.random", "datetime.datetime",
+                            "datetime.date"):
+                self.modules[local] = qualified
+            else:
+                self.members[local] = qualified
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """`a.b.c` -> "a.b.c" for pure attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _Imports) -> None:
+        self.path = path
+        self.imports = imports
+        self.findings: list[tuple[int, str, str]] = []  # (line, rule, msg)
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((node.lineno, rule, message))
+
+    def _resolve(self, dotted: str) -> str | None:
+        """Map a local dotted name to its canonical module path."""
+        head, _, rest = dotted.partition(".")
+        if head in self.imports.modules:
+            module = self.imports.modules[head]
+            return f"{module}.{rest}" if rest else module
+        if head in self.imports.members:
+            member = self.imports.members[head]
+            return f"{member}.{rest}" if rest else member
+        return None
+
+    # -- global-rng / wall-clock ------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted(node)
+        resolved = self._resolve(dotted) if dotted else None
+        if resolved:
+            self._check_resolved(node, resolved)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        resolved = self._resolve(node.id)
+        if resolved:
+            self._check_resolved(node, resolved)
+
+    def _check_resolved(self, node: ast.AST, resolved: str) -> None:
+        parts = resolved.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            self._flag(node, "global-rng",
+                       f"stdlib random ({resolved}) uses hidden global "
+                       f"state; thread a repro.common.rng Generator "
+                       f"instead")
+        if parts[:2] == ["numpy", "random"] and len(parts) > 2 \
+                and parts[2] not in _NP_RANDOM_OK:
+            self._flag(node, "global-rng",
+                       f"{resolved} mutates numpy's module-level RNG "
+                       f"state; thread a repro.common.rng Generator "
+                       f"instead")
+        if parts[0] == "time" and len(parts) == 2 \
+                and parts[1] in _WALL_CLOCK_TIME:
+            self._flag(node, "wall-clock",
+                       f"{resolved} reads the host clock; simulated time "
+                       f"must come from the event loop")
+        if parts[0] == "datetime" and parts[-1] in _WALL_CLOCK_DATETIME:
+            self._flag(node, "wall-clock",
+                       f"{resolved} reads the host clock; simulated time "
+                       f"must come from the event loop")
+
+    # -- float-eq ----------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) \
+                        and isinstance(side.value, float):
+                    self._flag(
+                        node, "float-eq",
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"against float literal {side.value!r}; use a "
+                        f"tolerance (math.isclose) or integers",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- mutable-default ---------------------------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}
+            )
+            if mutable:
+                self._flag(
+                    default, "mutable-default",
+                    f"mutable default argument in {node.name}() is shared "
+                    f"across calls; default to None and construct inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; suppressions already applied."""
+    tree = ast.parse(source, filename=path)
+    imports = _Imports()
+    imports.visit(tree)
+    linter = _Linter(path, imports)
+    linter.visit(tree)
+    allowed = _suppressions(source)
+    findings = []
+    for lineno, rule, message in sorted(linter.findings):
+        if rule in allowed.get(lineno, ()):
+            continue
+        findings.append(
+            Finding("lints", rule, "error", f"{path}:{lineno}", message)
+        )
+    return findings
+
+
+def lint_paths(roots: list[Path] | None = None) -> PassResult:
+    """Lint every ``*.py`` under the given roots (default: ``repro``)."""
+    if roots is None:
+        import repro
+
+        roots = [Path(repro.__file__).parent]
+    result = PassResult("lints")
+    files = 0
+    for root in roots:
+        paths = (sorted(root.rglob("*.py")) if root.is_dir() else [root])
+        for path in paths:
+            if "__pycache__" in path.parts:
+                continue
+            files += 1
+            try:
+                source = path.read_text()
+            except OSError as exc:
+                result.findings.append(Finding(
+                    "lints", "io", "error", str(path),
+                    f"could not read: {exc}",
+                ))
+                continue
+            try:
+                result.findings.extend(lint_source(source, str(path)))
+            except SyntaxError as exc:
+                result.findings.append(Finding(
+                    "lints", "syntax", "error", f"{path}:{exc.lineno}",
+                    f"could not parse: {exc.msg}",
+                ))
+    result.info = {"files": files, "rules": len(LINT_RULES)}
+    return result

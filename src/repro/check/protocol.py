@@ -1,0 +1,472 @@
+"""Exhaustive model checking of the directory protocol (Sections 4.2/6.1).
+
+The MP simulator (:mod:`repro.mp.system`) applies directory transitions
+atomically, so its tests can only witness the states its traces happen
+to reach.  This checker instead explores *every* reachable state of a
+small configuration — it drives the real :class:`repro.coherence.protocol.
+Directory` code, not a re-implementation — under an operational model
+with in-flight messages:
+
+- a node issues at most one outstanding read/write; the request travels
+  to the block's home as a message;
+- the home serializes transactions per block (the standard
+  home-blocks-until-done discipline): processing a request applies
+  ``record_read``/``record_write`` and yields the set of copies to
+  invalidate (write) or demote (read recall), which travel as messages;
+- the requester's fill completes only after every invalidation/demotion
+  has been delivered;
+- evictions are atomic (cache drop + ``record_eviction``), mirroring the
+  simulator's synchronous eviction callback.
+
+At every reachable state the checker asserts:
+
+- **single-writer** — a writable copy excludes every other copy;
+- **cache-dir-agreement** — every copy-holder is known to the directory
+  (as sharer, owner, or target of an in-flight invalidation), an
+  EXCLUSIVE directory entry has a matching owner copy or in-flight
+  fill, and every recorded sharer corresponds to a copy or fill;
+- **entry-invariants** — ``BlockEntry.check(num_nodes, addr)`` holds;
+- **ecc-encodable** — the entry fits the 14 spare ECC bits of
+  :mod:`repro.dram.directory` (limited pointer + broadcast marker) and
+  survives an encode/decode round trip;
+- **deadlock** — every non-quiescent state has an enabled action.
+
+Violations carry the BFS action trace from the initial state, so a
+protocol regression reads as a message-by-message scenario.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.common.errors import ProtocolError
+from repro.common.params import COHERENCE_UNIT_BYTES
+from repro.check.report import Finding, PassResult
+from repro.coherence.protocol import BlockEntry, BlockState, Directory
+from repro.dram.directory import (
+    BROADCAST_POINTER,
+    MAX_NODE_ID,
+    DirState,
+    DirectoryEntry,
+)
+
+# Cache states as seen from one node, per block.
+_I, _S, _E = "I", "S", "E"
+
+# A directory entry in canonical immutable form: (state, owner, sharers).
+_UNOWNED = ("U", -1, ())
+
+_DIR_STATE = {"U": BlockState.UNOWNED, "S": BlockState.SHARED,
+              "E": BlockState.EXCLUSIVE}
+_DIR_CODE = {v: k for k, v in _DIR_STATE.items()}
+
+# Messages (members of the in-flight frozenset):
+#   ("req", kind, node, block)             request travelling to the home
+#   ("fill", kind, node, block, acks)      granted; completes when acks
+#                                          (frozenset of nodes still to
+#                                          invalidate/demote) drains
+State = tuple  # (dirs, caches, msgs) — kept as plain tuples for speed
+
+
+@dataclass
+class ProtocolCheckResult:
+    """Outcome of exhausting one (num_nodes, num_blocks) configuration."""
+
+    num_nodes: int
+    num_blocks: int
+    states: int = 0
+    transitions: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class ProtocolModelChecker:
+    """BFS over the reachable protocol states of a small configuration.
+
+    ``directory_factory`` lets tests inject a mutated ``Directory``
+    subclass (e.g. one that drops invalidations) and watch the checker
+    produce a counterexample; it must accept the ``num_nodes`` keyword.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_blocks: int,
+        directory_factory: Callable[..., Directory] = Directory,
+        max_states: int = 400_000,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.num_blocks = num_blocks
+        self._factory = directory_factory
+        self.max_states = max_states
+
+    # -- plumbing between tuple states and the real Directory ---------------
+
+    def _addr(self, block: int) -> int:
+        return block * COHERENCE_UNIT_BYTES
+
+    def _home(self, block: int) -> int:
+        return block % self.num_nodes
+
+    def _directory(self, dirs: tuple) -> Directory:
+        directory = self._factory(num_nodes=self.num_nodes)
+        for block, (state, owner, sharers) in enumerate(dirs):
+            if (state, owner, sharers) == _UNOWNED:
+                continue
+            directory._entries[self._addr(block)] = BlockEntry(
+                state=_DIR_STATE[state],
+                sharers=set(sharers),
+                owner=owner if owner >= 0 else None,
+            )
+        return directory
+
+    def _entry_tuple(self, directory: Directory, block: int) -> tuple:
+        entry = directory.entry(self._addr(block))
+        owner = entry.owner if entry.owner is not None else -1
+        return (_DIR_CODE[entry.state], owner, tuple(sorted(entry.sharers)))
+
+    def initial_state(self) -> State:
+        dirs = tuple(_UNOWNED for _ in range(self.num_blocks))
+        caches = tuple(
+            tuple(_I for _ in range(self.num_nodes))
+            for _ in range(self.num_blocks)
+        )
+        return (dirs, caches, frozenset())
+
+    # -- operational semantics ----------------------------------------------
+
+    def successors(self, state: State) -> Iterator[tuple[str, State]]:
+        """Every enabled action as ``(human-readable label, next state)``.
+
+        May raise :class:`ProtocolError` out of the real directory code;
+        the BFS turns that into a finding with the offending action.
+        """
+        dirs, caches, msgs = state
+        busy = {m[2] for m in msgs}  # nodes with an outstanding operation
+        blocks_in_fill = {m[3] for m in msgs if m[0] == "fill"}
+
+        for msg in sorted(msgs):
+            if msg[0] == "fill":
+                _, kind, node, block, acks = msg
+                if acks:
+                    word = "demotion" if kind == "read" else "invalidation"
+                    for target in sorted(acks):
+                        yield (
+                            f"{word} for block {block} delivered to node "
+                            f"{target}",
+                            self._deliver(state, msg, target),
+                        )
+                else:
+                    yield (
+                        f"node {node} completes its {kind} of block {block}",
+                        self._complete(state, msg),
+                    )
+            else:
+                _, kind, node, block = msg
+                if block in blocks_in_fill:
+                    continue  # home serializes transactions per block
+                yield (
+                    f"home {self._home(block)} processes the {kind} of "
+                    f"block {block} from node {node}",
+                    self._process(state, msg),
+                )
+
+        for node in range(self.num_nodes):
+            if node in busy:
+                continue
+            for block in range(self.num_blocks):
+                held = caches[block][node]
+                if held == _I:
+                    yield (
+                        f"node {node} issues a read of block {block}",
+                        self._issue(state, "read", node, block),
+                    )
+                if held != _E:
+                    yield (
+                        f"node {node} issues a write of block {block}",
+                        self._issue(state, "write", node, block),
+                    )
+
+        for block in range(self.num_blocks):
+            for node in range(self.num_nodes):
+                if caches[block][node] == _I:
+                    continue
+                if self._involved(msgs, node, block):
+                    continue
+                yield (
+                    f"node {node} evicts block {block}",
+                    self._evict(state, node, block),
+                )
+
+    @staticmethod
+    def _involved(msgs: frozenset, node: int, block: int) -> bool:
+        for msg in msgs:
+            if msg[3] != block:
+                continue
+            if msg[2] == node:
+                return True
+            if msg[0] == "fill" and node in msg[4]:
+                return True
+        return False
+
+    def _issue(self, state: State, kind: str, node: int, block: int) -> State:
+        dirs, caches, msgs = state
+        return (dirs, caches, msgs | {("req", kind, node, block)})
+
+    def _process(self, state: State, msg: tuple) -> State:
+        dirs, caches, msgs = state
+        _, kind, node, block = msg
+        directory = self._directory(dirs)
+        addr = self._addr(block)
+        home = self._home(block)
+        before = dirs[block]
+        if kind == "read":
+            directory.record_read(addr, node, home)
+            # A read recall demotes a remote exclusive owner to a sharer.
+            prev_state, prev_owner, _ = before
+            acks = (
+                frozenset({prev_owner})
+                if prev_state == "E" and prev_owner != node
+                else frozenset()
+            )
+        else:
+            victims = directory.record_write(addr, node, home)
+            acks = frozenset(victims)
+        new_dirs = self._with_block(dirs, block,
+                                    self._entry_tuple(directory, block))
+        new_msgs = (msgs - {msg}) | {("fill", kind, node, block, acks)}
+        return (new_dirs, caches, new_msgs)
+
+    def _deliver(self, state: State, msg: tuple, target: int) -> State:
+        dirs, caches, msgs = state
+        _, kind, node, block, acks = msg
+        held = caches[block][target]
+        new_cache = _S if (kind == "read" and held == _E) else _I
+        new_caches = self._with_cache(caches, block, target, new_cache)
+        new_msgs = (msgs - {msg}) | {
+            ("fill", kind, node, block, acks - {target})
+        }
+        return (dirs, new_caches, new_msgs)
+
+    def _complete(self, state: State, msg: tuple) -> State:
+        dirs, caches, msgs = state
+        _, kind, node, block, _acks = msg
+        new_caches = caches
+        if node != self._home(block):
+            # The home reads/writes its own memory; only remote
+            # requesters install a directory-tracked copy.
+            new_caches = self._with_cache(
+                caches, block, node, _S if kind == "read" else _E
+            )
+        return (dirs, new_caches, msgs - {msg})
+
+    def _evict(self, state: State, node: int, block: int) -> State:
+        dirs, caches, msgs = state
+        directory = self._directory(dirs)
+        directory.record_eviction(self._addr(block), node)
+        new_dirs = self._with_block(dirs, block,
+                                    self._entry_tuple(directory, block))
+        new_caches = self._with_cache(caches, block, node, _I)
+        return (new_dirs, new_caches, msgs)
+
+    @staticmethod
+    def _with_block(dirs: tuple, block: int, entry: tuple) -> tuple:
+        return dirs[:block] + (entry,) + dirs[block + 1:]
+
+    @staticmethod
+    def _with_cache(caches: tuple, block: int, node: int, value: str) -> tuple:
+        row = caches[block]
+        return (caches[:block]
+                + (row[:node] + (value,) + row[node + 1:],)
+                + caches[block + 1:])
+
+    # -- invariants -----------------------------------------------------------
+
+    def violations(self, state: State) -> list[tuple[str, str]]:
+        """(rule, message) pairs violated by ``state``."""
+        dirs, caches, msgs = state
+        found: list[tuple[str, str]] = []
+        for block in range(self.num_blocks):
+            row = caches[block]
+            dir_state, owner, sharers = dirs[block]
+            home = self._home(block)
+            holders = {n for n in range(self.num_nodes) if row[n] != _I}
+            writers = {n for n in range(self.num_nodes) if row[n] == _E}
+            fills = {m for m in msgs if m[0] == "fill" and m[3] == block}
+            fill_requesters = {m[2] for m in fills}
+            pending_acks = {t for m in fills for t in m[4]}
+
+            if writers and (len(writers) > 1 or holders - writers):
+                found.append((
+                    "single-writer",
+                    f"block {block}: node {min(writers)} holds a writable "
+                    f"copy while nodes {sorted(holders - {min(writers)})} "
+                    f"also hold copies",
+                ))
+
+            known = set(sharers) | ({owner} if owner >= 0 else set())
+            unknown = holders - known - pending_acks
+            if unknown:
+                found.append((
+                    "cache-dir-agreement",
+                    f"block {block}: nodes {sorted(unknown)} hold copies "
+                    f"the directory does not track "
+                    f"(state={dir_state}, owner={owner}, "
+                    f"sharers={list(sharers)})",
+                ))
+            if dir_state == "E" and row[owner] != _E \
+                    and owner not in fill_requesters:
+                found.append((
+                    "cache-dir-agreement",
+                    f"block {block}: directory says node {owner} owns it "
+                    f"exclusively but that node's copy is "
+                    f"'{row[owner]}' with no fill in flight",
+                ))
+            for sharer in sharers:
+                if row[sharer] == _I and sharer not in fill_requesters:
+                    found.append((
+                        "cache-dir-agreement",
+                        f"block {block}: directory lists node {sharer} as a "
+                        f"sharer but it holds no copy and no fill is in "
+                        f"flight",
+                    ))
+
+            try:
+                BlockEntry(
+                    state=_DIR_STATE[dir_state],
+                    sharers=set(sharers),
+                    owner=owner if owner >= 0 else None,
+                ).check(self.num_nodes, self._addr(block))
+            except ProtocolError as exc:
+                found.append(("entry-invariants", f"block {block}: {exc}"))
+
+            ecc = self._ecc_violation(block, dir_state, owner, sharers)
+            if ecc:
+                found.append(("ecc-encodable", ecc))
+            del home
+        return found
+
+    @staticmethod
+    def _ecc_violation(block: int, dir_state: str, owner: int,
+                       sharers: tuple) -> str | None:
+        """Check the entry fits the Figure 5 spare-ECC-bit encoding."""
+        if dir_state == "U":
+            entry = DirectoryEntry()
+        elif dir_state == "E":
+            if owner > MAX_NODE_ID:
+                return (f"block {block}: owner {owner} exceeds the "
+                        f"{MAX_NODE_ID} limited-pointer maximum")
+            entry = DirectoryEntry(DirState.EXCLUSIVE, owner)
+        elif len(sharers) == 1:
+            pointer = next(iter(sharers))
+            if pointer > MAX_NODE_ID:
+                return (f"block {block}: sharer {pointer} exceeds the "
+                        f"{MAX_NODE_ID} limited-pointer maximum")
+            entry = DirectoryEntry(DirState.SHARED, pointer)
+        else:
+            entry = DirectoryEntry(DirState.SHARED_BROADCAST,
+                                   BROADCAST_POINTER)
+        if DirectoryEntry.decode(entry.encode()) != entry:
+            return f"block {block}: entry does not round-trip the ECC bits"
+        return None
+
+    # -- exhaustive exploration ----------------------------------------------
+
+    def check(self) -> ProtocolCheckResult:
+        result = ProtocolCheckResult(self.num_nodes, self.num_blocks)
+        location = f"nodes={self.num_nodes}, blocks={self.num_blocks}"
+
+        def finding(rule: str, message: str, trace: tuple[str, ...],
+                    severity: str = "error") -> Finding:
+            return Finding("protocol", rule, severity, location, message,
+                           trace)
+
+        start = self.initial_state()
+        parents: dict[State, tuple[State, str] | None] = {start: None}
+        frontier = deque([start])
+        seen_rules: set[tuple[str, str]] = set()
+        while frontier:
+            state = frontier.popleft()  # BFS: counterexamples are shortest
+            result.states += 1
+            if result.states > self.max_states:
+                result.findings.append(finding(
+                    "state-space",
+                    f"exceeded {self.max_states} states; exploration is "
+                    f"not exhaustive — shrink the configuration",
+                    (),
+                ))
+                return result
+            for rule, message in self.violations(state):
+                key = (rule, message)
+                if key not in seen_rules:
+                    seen_rules.add(key)
+                    result.findings.append(
+                        finding(rule, message, self._trace(parents, state))
+                    )
+            had_action = False
+            try:
+                for label, nxt in self.successors(state):
+                    had_action = True
+                    result.transitions += 1
+                    if nxt not in parents:
+                        parents[nxt] = (state, label)
+                        frontier.append(nxt)
+            except ProtocolError as exc:
+                result.findings.append(finding(
+                    "protocol-error",
+                    f"directory raised ProtocolError: {exc}",
+                    self._trace(parents, state),
+                ))
+                continue
+            if not had_action and state[2]:
+                result.findings.append(finding(
+                    "deadlock",
+                    "state with in-flight messages has no enabled action",
+                    self._trace(parents, state),
+                ))
+        return result
+
+    @staticmethod
+    def _trace(parents: dict, state: State) -> tuple[str, ...]:
+        steps: list[str] = []
+        cursor = state
+        while parents[cursor] is not None:
+            cursor, label = parents[cursor]
+            steps.append(label)
+        steps.reverse()
+        return tuple(steps)
+
+
+#: The configurations the tier-1 suite exhausts (small enough to finish
+#: in seconds, large enough for three-party races, broadcast
+#: invalidations and two-block interleavings).
+DEFAULT_CONFIGS: tuple[tuple[int, int], ...] = ((2, 1), (3, 1), (4, 1), (3, 2))
+
+
+def check_protocol(
+    configs: tuple[tuple[int, int], ...] = DEFAULT_CONFIGS,
+    directory_factory: Callable[..., Directory] = Directory,
+) -> PassResult:
+    """Run the model checker over every configuration; one PassResult."""
+    result = PassResult("protocol")
+    total_states = 0
+    total_transitions = 0
+    for num_nodes, num_blocks in configs:
+        checker = ProtocolModelChecker(
+            num_nodes, num_blocks, directory_factory=directory_factory
+        )
+        outcome = checker.check()
+        total_states += outcome.states
+        total_transitions += outcome.transitions
+        result.findings.extend(outcome.findings)
+    result.info = {
+        "configs": len(configs),
+        "states": total_states,
+        "transitions": total_transitions,
+    }
+    return result

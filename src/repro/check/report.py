@@ -1,0 +1,121 @@
+"""Finding/report types shared by the three ``repro.check`` passes.
+
+A :class:`Finding` is one diagnostic: which pass produced it, the rule
+it violates, where, and — for the protocol model checker — the
+counterexample trace that reaches the bad state.  ``error`` findings
+fail the build (non-zero exit); ``warning`` findings are reported but
+do not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from one pass."""
+
+    pass_name: str  # "protocol" | "gspn" | "lints"
+    rule: str  # kebab-case rule id, e.g. "single-writer"
+    severity: str  # "error" | "warning"
+    location: str  # config, net name, or file:line
+    message: str
+    trace: tuple[str, ...] = ()  # counterexample steps, oldest first
+
+    def to_dict(self) -> dict:
+        payload = {
+            "pass": self.pass_name,
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        return payload
+
+    def render(self) -> str:
+        lines = [f"{self.severity}[{self.pass_name}/{self.rule}] "
+                 f"{self.location}: {self.message}"]
+        if self.trace:
+            lines.append("  counterexample trace:")
+            lines.extend(f"    {i + 1}. {step}"
+                         for i, step in enumerate(self.trace))
+        return "\n".join(lines)
+
+
+@dataclass
+class PassResult:
+    """One pass's findings plus its coverage statistics."""
+
+    name: str
+    findings: list[Finding] = field(default_factory=list)
+    info: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+@dataclass
+class CheckReport:
+    """The whole run: every executed pass, in execution order."""
+
+    passes: list[PassResult] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[Finding]:
+        return [f for p in self.passes for f in p.findings]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "passes": [
+                    {
+                        "name": p.name,
+                        "info": p.info,
+                        "findings": [f.to_dict() for f in p.findings],
+                    }
+                    for p in self.passes
+                ],
+                "summary": {
+                    "errors": len(self.errors),
+                    "warnings": sum(len(p.warnings) for p in self.passes),
+                    "ok": not self.errors,
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for result in self.passes:
+            stats = ", ".join(f"{k}={v}" for k, v in result.info.items())
+            verdict = ("ok" if not result.errors
+                       else f"{len(result.errors)} error(s)")
+            suffix = f" ({stats})" if stats else ""
+            lines.append(f"[{result.name}] {verdict}{suffix}")
+            for finding in result.findings:
+                lines.append(finding.render())
+        total_err = len(self.errors)
+        total_warn = sum(len(p.warnings) for p in self.passes)
+        lines.append(
+            f"check: {len(self.passes)} pass(es), "
+            f"{total_err} error(s), {total_warn} warning(s)"
+        )
+        return "\n".join(lines)

@@ -348,3 +348,37 @@ def build_membank_net(
     net.immediate("T_sink_i", {served_i: 1}, {}, weight=1.0)
     net.immediate("T_sink_d", {served_d: 1}, {}, weight=1.0)
     return net
+
+
+def registered_nets() -> dict[str, PetriNet]:
+    """Every net the evaluation rests on, for static verification.
+
+    One representative instance per configuration family: the Figure 9
+    membank net, the Figure 10 processor net in its integrated
+    (Figure 12, Tables 3-4) and conventional-reference (Figure 11)
+    configurations, the no-scoreboard ablation, and the Section 5.6
+    bank-sweep variants.  ``repro.check``'s structural pass analyzes each
+    of these; probabilities are representative (the measured per-benchmark
+    weights only rescale immediate transitions, never the structure).
+    """
+    conventional = ProcessorNetParams(
+        ifetch=MemoryPathProbs(0.95, 0.04),
+        load=MemoryPathProbs(0.90, 0.07),
+        store=MemoryPathProbs(0.90, 0.07),
+        mem_access=24.0,
+        num_banks=2,
+        has_l2=True,
+    )
+    nets = {
+        "fig9.membank": build_membank_net(),
+        "fig10.integrated": build_processor_net(ProcessorNetParams()),
+        "fig10.conventional": build_processor_net(conventional),
+        "fig10.no-scoreboard": build_processor_net(
+            ProcessorNetParams(scoreboard_rate=None)
+        ),
+    }
+    for banks in (2, 4, 8):  # 16 banks == the integrated default above
+        nets[f"sec5.6.banks{banks}"] = build_processor_net(
+            ProcessorNetParams(num_banks=banks)
+        )
+    return nets

@@ -1,0 +1,141 @@
+"""Structural GSPN analysis: invariants, coverage, dead transitions."""
+
+from repro.check.gspn import (
+    analyze_net,
+    check_gspn_models,
+    incidence_matrix,
+    null_space_dimension,
+    potentially_fireable,
+    semiflows,
+)
+from repro.gspn.models import registered_nets
+from repro.gspn.net import PetriNet
+
+
+def cycle_net() -> PetriNet:
+    """p1 -> t1 -> p2 -> t2 -> p1 with one circulating token."""
+    net = PetriNet("cycle")
+    net.place("p1", 1)
+    net.place("p2", 0)
+    net.exponential("t1", {"p1": 1}, {"p2": 1}, rate=1.0)
+    net.exponential("t2", {"p2": 1}, {"p1": 1}, rate=1.0)
+    return net
+
+
+class TestAlgebra:
+    def test_incidence_matrix_of_cycle(self):
+        places, transitions, matrix = incidence_matrix(cycle_net())
+        assert places == ["p1", "p2"]
+        assert transitions == ["t1", "t2"]
+        assert matrix == [[-1, 1], [1, -1]]
+
+    def test_cycle_has_single_conservation_law(self):
+        _, _, matrix = incidence_matrix(cycle_net())
+        flows = semiflows(matrix)
+        assert flows == [(1, 1)]  # p1 + p2 is invariant
+
+    def test_semiflows_are_minimal_and_normalized(self):
+        # Two independent cycles sharing no places: two unit semiflows,
+        # never their sum.
+        net = PetriNet("pair")
+        for i in (1, 2):
+            net.place(f"a{i}", 1)
+            net.place(f"b{i}", 0)
+            net.exponential(f"f{i}", {f"a{i}": 1}, {f"b{i}": 1}, rate=1.0)
+            net.exponential(f"g{i}", {f"b{i}": 1}, {f"a{i}": 1}, rate=1.0)
+        _, _, matrix = incidence_matrix(net)
+        flows = semiflows(matrix)
+        # places are declared [a1, b1, a2, b2]
+        assert sorted(flows) == [(0, 0, 1, 1), (1, 1, 0, 0)]
+
+    def test_null_space_dimension_matches_enumeration(self):
+        _, _, matrix = incidence_matrix(cycle_net())
+        transpose = [[matrix[p][t] for p in range(2)] for t in range(2)]
+        assert null_space_dimension(transpose) == 1
+
+    def test_weighted_conservation(self):
+        # t consumes two of a to make one b: invariant is a + 2b.
+        net = PetriNet("weighted")
+        net.place("a", 4)
+        net.place("b", 0)
+        net.exponential("t", {"a": 2}, {"b": 1}, rate=1.0)
+        net.exponential("back", {"b": 1}, {"a": 2}, rate=1.0)
+        _, _, matrix = incidence_matrix(net)
+        assert semiflows(matrix) == [(1, 2)]
+        analysis = analyze_net(net)
+        assert analysis.conserved_sums == [4]
+
+
+class TestFindings:
+    def test_nonconservative_net_fails_coverage(self):
+        # The "bank" resource token is consumed and never returned, so
+        # no P-invariant covers it: the defect the paper's CPI readings
+        # would silently absorb.
+        net = PetriNet("leaky")
+        net.place("bank", 1)
+        net.place("done", 0)
+        net.exponential("serve", {"bank": 1}, {"done": 1}, rate=1.0)
+        net.exponential("drop", {"done": 1}, {}, rate=1.0)
+        analysis = analyze_net(net)
+        rules = {f.rule for f in analysis.findings}
+        assert "p-invariant-coverage" in rules
+        finding = next(f for f in analysis.findings
+                       if f.rule == "p-invariant-coverage")
+        assert "bank" in finding.message
+        assert finding.severity == "error"
+
+    def test_conservative_net_has_no_findings(self):
+        assert analyze_net(cycle_net()).findings == []
+
+    def test_unmarked_uncovered_place_is_warning_only(self):
+        net = PetriNet("open")
+        net.place("src", 1)
+        net.place("queue", 0)  # grows without bound
+        net.exponential("emit", {"src": 1}, {"src": 1, "queue": 1}, rate=1.0)
+        net.exponential("drain", {"queue": 1}, {}, rate=1.0)
+        analysis = analyze_net(net)
+        assert [f.rule for f in analysis.findings] == ["possibly-unbounded"]
+        assert analysis.findings[0].severity == "warning"
+        assert "queue" in analysis.findings[0].message
+
+    def test_structurally_dead_transition_detected(self):
+        net = PetriNet("dead")
+        net.place("live", 1)
+        net.place("nowhere", 0)  # no transition ever marks it
+        net.exponential("spin", {"live": 1}, {"live": 1}, rate=1.0)
+        net.exponential("stuck", {"nowhere": 1}, {"live": 1}, rate=1.0)
+        assert potentially_fireable(net) == {"spin"}
+        analysis = analyze_net(net)
+        dead = [f for f in analysis.findings if f.rule == "dead-transition"]
+        assert len(dead) == 1 and "stuck" in dead[0].message
+
+    def test_nan_conflict_weight_detected(self):
+        # Transition.__post_init__ now rejects NaN, so corrupt an
+        # existing transition in place to model a future bypass.
+        net = PetriNet("conflict")
+        net.place("p", 1)
+        net.place("out", 0)
+        net.immediate("a", {"p": 1}, {"out": 1}, weight=1.0)
+        net.immediate("b", {"p": 1}, {"out": 1}, weight=1.0)
+        object.__setattr__(net.transitions["b"], "param", float("nan"))
+        analysis = analyze_net(net)
+        flagged = [f for f in analysis.findings
+                   if f.rule == "conflict-weights"]
+        assert len(flagged) == 1
+        assert "b" in flagged[0].message and "a" in flagged[0].message
+
+
+class TestRegisteredNets:
+    def test_every_evaluation_net_analyzes_clean(self):
+        result = check_gspn_models()
+        assert not result.errors, [f.render() for f in result.errors]
+        assert result.info["nets"] == len(registered_nets())
+        assert result.info["p_invariants"] > 0
+
+    def test_membank_net_conserves_its_bank_tokens(self):
+        nets = registered_nets()
+        analysis = analyze_net(nets["fig9.membank"], "fig9.membank")
+        covered = {p for flow in analysis.p_semiflows for p in flow}
+        marked = {p for p, tokens
+                  in nets["fig9.membank"].initial_marking.items() if tokens}
+        assert marked <= covered

@@ -1,0 +1,155 @@
+"""Simulation-discipline lints: one fixture per rule, plus suppression."""
+
+import textwrap
+
+from repro.check.lints import LINT_RULES, lint_paths, lint_source
+
+
+def rules_of(source: str) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestGlobalRng:
+    def test_stdlib_random_flagged(self):
+        assert rules_of("""
+            import random
+            x = random.random()
+        """) == ["global-rng"]
+
+    def test_stdlib_random_seed_flagged(self):
+        assert "global-rng" in rules_of("""
+            import random
+            random.seed(42)
+        """)
+
+    def test_numpy_module_rng_flagged_through_alias(self):
+        assert rules_of("""
+            import numpy as np
+            x = np.random.rand(3)
+        """) == ["global-rng"]
+
+    def test_from_numpy_import_random_flagged(self):
+        assert rules_of("""
+            from numpy import random as npr
+            npr.seed(0)
+        """) == ["global-rng"]
+
+    def test_generator_api_allowed(self):
+        assert rules_of("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+            g = np.random.Generator(np.random.PCG64(1))
+        """) == []
+
+    def test_member_import_of_randrange_flagged(self):
+        assert rules_of("""
+            from random import randrange
+            x = randrange(4)
+        """) == ["global-rng"]
+
+    def test_unrelated_random_name_not_flagged(self):
+        assert rules_of("""
+            def pick(random):
+                return random.choice
+        """) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_of("""
+            import time
+            t = time.time()
+        """) == ["wall-clock"]
+
+    def test_perf_counter_member_import_flagged(self):
+        assert rules_of("""
+            from time import perf_counter
+            t = perf_counter()
+        """) == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        assert rules_of("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """) == ["wall-clock"]
+
+    def test_time_sleep_not_flagged(self):
+        assert rules_of("""
+            import time
+            time.sleep(0.1)
+        """) == []
+
+
+class TestFloatEq:
+    def test_eq_against_float_literal_flagged(self):
+        assert rules_of("x = 1.5\nif x == 0.3: pass\n") == ["float-eq"]
+
+    def test_neq_flagged(self):
+        assert rules_of("y = 0.0\nz = y != 2.5\n") == ["float-eq"]
+
+    def test_integer_comparison_allowed(self):
+        assert rules_of("x = 3\nif x == 3: pass\n") == []
+
+    def test_less_than_float_allowed(self):
+        assert rules_of("x = 1.5\nif x < 0.3: pass\n") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert rules_of("def f(a=[]): pass\n") == ["mutable-default"]
+
+    def test_dict_call_default_flagged(self):
+        assert rules_of("def f(*, a=dict()): pass\n") == ["mutable-default"]
+
+    def test_none_default_allowed(self):
+        assert rules_of("def f(a=None, b=(), c=0): pass\n") == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_on_its_line(self):
+        assert rules_of("""
+            import time
+            t = time.time()  # repro: allow(wall-clock)
+        """) == []
+
+    def test_allow_of_other_rule_does_not_suppress(self):
+        assert rules_of("""
+            import time
+            t = time.time()  # repro: allow(float-eq)
+        """) == ["wall-clock"]
+
+    def test_allow_accepts_rule_list(self):
+        assert rules_of("""
+            import time, random
+            t = time.time() + random.random()  # repro: allow(wall-clock, global-rng)
+        """) == []
+
+    def test_allow_on_other_line_does_not_suppress(self):
+        assert rules_of("""
+            import time  # repro: allow(wall-clock)
+            t = time.time()
+        """) == ["wall-clock"]
+
+
+class TestLintPaths:
+    def test_source_tree_is_clean(self):
+        # The acceptance bar: the shipped simulator obeys its own
+        # determinism contract (modulo reviewed `# repro: allow` sites).
+        result = lint_paths()
+        assert result.findings == [], [f.render() for f in result.findings]
+        assert result.info["files"] > 50
+        assert result.info["rules"] == len(LINT_RULES)
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([tmp_path])
+        assert [f.rule for f in result.findings] == ["syntax"]
+
+    def test_explicit_roots_are_scanned(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\nrandom.seed(1)\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        result = lint_paths([tmp_path])
+        assert result.info["files"] == 2
+        assert [f.rule for f in result.findings] == ["global-rng"]
+        assert str(tmp_path / "a.py") in result.findings[0].location

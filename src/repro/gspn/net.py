@@ -13,6 +13,7 @@ Monte-Carlo evaluator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -44,10 +45,17 @@ class Transition:
     priority: int = 0  # among immediates: higher fires first
 
     def __post_init__(self) -> None:
-        if self.param <= 0 and not (
-            self.kind is TransitionKind.DETERMINISTIC and self.param == 0
+        # NaN fails every comparison, so `param <= 0` alone would let a
+        # NaN weight/rate/delay through and poison conflict resolution.
+        if not math.isfinite(self.param) or (
+            self.param <= 0
+            and not (
+                self.kind is TransitionKind.DETERMINISTIC and self.param == 0
+            )
         ):
-            raise ConfigError(f"transition {self.name}: param must be positive")
+            raise ConfigError(
+                f"transition {self.name}: param must be positive and finite"
+            )
         for mult in list(self.inputs.values()) + list(self.outputs.values()):
             if mult < 1:
                 raise ConfigError(f"transition {self.name}: arc multiplicity >= 1")

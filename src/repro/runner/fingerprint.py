@@ -6,6 +6,11 @@ The fingerprint is a SHA-256 over the names and contents of every
 so *any* source change — a constant, a model, a renderer — invalidates
 every cached result at once.  Coarse, but safe: experiments are cheap to
 re-run and a stale number in EXPERIMENTS.md is worse than a cache miss.
+
+In a checkout (``src/repro`` layout) the sibling ``scripts/`` tree is
+hashed as well: the CI gates there (``check_docs.py``) and the
+:mod:`repro.check` verification suite inside the package both vouch for
+cached results, so a change to either must invalidate them.
 """
 
 from __future__ import annotations
@@ -14,6 +19,29 @@ import hashlib
 from pathlib import Path
 
 _CACHE: dict[Path, str] = {}
+
+
+def _tracked_sources(root: Path) -> list[tuple[str, Path]]:
+    """``(label, path)`` pairs hashed into the fingerprint, sorted.
+
+    Labels are paths relative to ``root``; the repo-checkout ``scripts/``
+    tree (present only when ``root`` sits at ``<repo>/src/repro``) is
+    labelled with an ``@scripts/`` prefix so it can never collide with a
+    package-relative path.
+    """
+    files = [
+        (path.relative_to(root).as_posix(), path)
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    ]
+    scripts = root.parent.parent / "scripts"
+    if root.parent.name == "src" and scripts.is_dir():
+        files.extend(
+            (f"@scripts/{path.relative_to(scripts).as_posix()}", path)
+            for path in scripts.rglob("*.py")
+            if "__pycache__" not in path.parts
+        )
+    return sorted(files)
 
 
 def code_fingerprint(root: Path | None = None, *, use_cache: bool = True) -> str:
@@ -31,10 +59,8 @@ def code_fingerprint(root: Path | None = None, *, use_cache: bool = True) -> str
     if use_cache and root in _CACHE:
         return _CACHE[root]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        if "__pycache__" in path.parts:
-            continue
-        digest.update(path.relative_to(root).as_posix().encode())
+    for label, path in _tracked_sources(root):
+        digest.update(label.encode())
         digest.update(b"\x00")
         digest.update(path.read_bytes())
         digest.update(b"\x00")

@@ -50,3 +50,44 @@ class TestCodeFingerprint:
     def test_package_default(self):
         # Fingerprinting the installed package works and is cached.
         assert code_fingerprint() == code_fingerprint()
+
+
+class TestCheckoutScripts:
+    """In a src-layout checkout, the sibling scripts/ tree is hashed too."""
+
+    def _checkout(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("A = 1\n")
+        scripts = tmp_path / "scripts"
+        scripts.mkdir()
+        (scripts / "check_docs.py").write_text("GATE = 1\n")
+        return pkg
+
+    def test_scripts_change_invalidates(self, tmp_path):
+        pkg = self._checkout(tmp_path)
+        before = code_fingerprint(pkg, use_cache=False)
+        (tmp_path / "scripts" / "check_docs.py").write_text("GATE = 2\n")
+        assert code_fingerprint(pkg, use_cache=False) != before
+
+    def test_scripts_cannot_shadow_package_paths(self, tmp_path):
+        # A scripts/x.py and a repro/scripts/x.py get distinct labels.
+        from repro.runner.fingerprint import _tracked_sources
+
+        pkg = self._checkout(tmp_path)
+        (pkg / "scripts").mkdir()
+        (pkg / "scripts" / "check_docs.py").write_text("GATE = 1\n")
+        labels = [label for label, _ in _tracked_sources(pkg)]
+        assert "scripts/check_docs.py" in labels
+        assert "@scripts/check_docs.py" in labels
+        assert len(labels) == len(set(labels))
+
+    def test_non_checkout_layout_ignores_siblings(self, tmp_path):
+        pkg = tmp_path / "site-packages" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("A = 1\n")
+        (tmp_path / "scripts").mkdir()
+        (tmp_path / "scripts" / "x.py").write_text("X = 1\n")
+        before = code_fingerprint(pkg, use_cache=False)
+        (tmp_path / "scripts" / "x.py").write_text("X = 2\n")
+        assert code_fingerprint(pkg, use_cache=False) == before

@@ -171,7 +171,17 @@ Beyond the paper: victim-size sweep (16 entries capture >=90 % of the
 achievable conflict absorption on tomcatv), scoreboard-rate sweep (no
 scoreboard costs swim ~40 % more memory CPI than rate 1.0), and the
 ECC-widening arithmetic (12.5 % -> 7 % overhead, exactly 14 bits freed
-per 32 B block).\
+per 32 B block).
+
+## Tooling: static verification
+
+Every number above is produced by code that `python -m repro check`
+(see CHECKS.md) verifies statically before anything runs: exhaustive
+model checking of the directory protocol at small node/block counts,
+P/T-invariant analysis of every GSPN behind Figures 9-12 and the
+Section 5.6 bank sweep, and determinism lints over the source tree.
+CI runs it alongside `scripts/check_docs.py`; a non-zero exit blocks
+the build.\
 """
 
 

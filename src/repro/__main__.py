@@ -32,7 +32,14 @@ from repro.analysis.docs import (
     render_result,
     write_artifacts,
 )
-from repro.runner import ResultCache, default_cache_dir
+from repro.faults import FaultPlan, FaultPlanError
+from repro.runner import (
+    FailFastError,
+    ResultCache,
+    RunJournal,
+    SupervisionPolicy,
+    default_cache_dir,
+)
 
 
 def _csv(value: str) -> list[str]:
@@ -102,6 +109,44 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="NAMES",
         help="comma-separated experiments to exclude from the selection",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock limit; a stuck worker is killed, "
+             "replaced, and the task retried (default: no limit)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for a crashed/hung/failed shard before it "
+             "is quarantined (default 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards journaled as completed by an interrupted run "
+             "(requires the cache; journal lives under the cache root)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first quarantined shard instead of "
+             "completing the healthy ones",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="LABEL=KIND",
+        help="deterministic fault injection for testing: fault shards "
+             "matching LABEL (fnmatch, e.g. 'figure7/*') with KIND "
+             "(crash, hang, raise, corrupt), optionally only the first "
+             "N attempts (':N'); repeatable, also read from $REPRO_INJECT",
     )
     parser.add_argument(
         "--artifacts",
@@ -184,22 +229,72 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
 
-    results, metrics = run_experiments(
-        selected, overrides, jobs=args.jobs, cache=cache
-    )
+    if args.resume and cache is None:
+        print("--resume needs the result cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    try:
+        faults = FaultPlan.parse(args.inject or []) if args.inject \
+            else FaultPlan()
+        faults = FaultPlan(faults.specs + FaultPlan.from_env().specs)
+    except FaultPlanError as exc:
+        print(f"bad --inject / $REPRO_INJECT: {exc}", file=sys.stderr)
+        return 2
+    try:
+        policy = SupervisionPolicy(
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
+        )
+    except ValueError as exc:
+        print(f"bad supervision flags: {exc}", file=sys.stderr)
+        return 2
+    journal = RunJournal(cache.root, cache.fingerprint) if cache else None
+
+    def write_partial(partial) -> None:
+        if args.metrics_out:
+            partial.write(args.metrics_out)
+
+    try:
+        results, metrics = run_experiments(
+            selected, overrides, jobs=args.jobs, cache=cache,
+            policy=policy, faults=faults or None,
+            journal=journal, resume=args.resume, on_partial=write_partial,
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed shards are journaled and cached; "
+              "rerun with --resume to pick up where this run stopped",
+              file=sys.stderr)
+        return 130
+    except FailFastError as exc:
+        print(f"fail-fast: {exc}", file=sys.stderr)
+        print("completed shards are journaled and cached; rerun with "
+              "--resume after fixing the failure", file=sys.stderr)
+        return 1
 
     for name in selected:
-        print(render_result(results[name]))
+        if results[name] is not None:
+            print(render_result(results[name]))
         tasks = [t for t in metrics.tasks if t.experiment == name]
         wall = sum(t.wall_s for t in tasks)
-        hits = sum(1 for t in tasks if t.cache == "hit")
+        hits = sum(1 for t in tasks if t.cache in ("hit", "resumed"))
+        bad = sum(1 for t in tasks if t.status == "quarantined")
         status = f"{hits}/{len(tasks)} cached" if cache else "cache off"
+        if bad:
+            status += f", {bad} quarantined"
+        if results[name] is None:
+            status += " — every shard quarantined, nothing to render"
         print(f"[{name}: {wall:.1f}s, {status}]\n", file=sys.stderr)
 
     print(metrics.render(), file=sys.stderr)
     if args.metrics_out:
         metrics.write(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+
+    if metrics.quarantined:
+        print(f"run finished with {metrics.quarantined} quarantined "
+              f"shard(s); see the metrics for tracebacks", file=sys.stderr)
+        return 1
 
     if docs_mode:
         fingerprint = cache.fingerprint if cache else None

@@ -305,12 +305,22 @@ def run_experiments(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    policy: Any = None,
+    faults: Any = None,
+    journal: Any = None,
+    resume: bool = False,
+    on_partial: Any = None,
 ) -> tuple[dict[str, Any], RunMetrics]:
-    """Run experiments by name through the parallel runner.
+    """Run experiments by name through the supervised parallel runner.
 
     Returns ``(results, metrics)``: ``results[name]`` is exactly what
     calling the experiment function directly would return (shards are
-    merged), regardless of ``jobs`` or cache state.
+    merged), regardless of ``jobs`` or cache state.  Shards quarantined
+    by the supervisor (see ``policy``/``faults`` on
+    :func:`repro.runner.run_tasks`) are left out of the merge — the
+    healthy shards still produce a partial result — and
+    ``results[name]`` is ``None`` when *every* shard of an experiment
+    was quarantined; the failures themselves are in ``metrics``.
     """
     overrides = overrides or {}
     per_spec: dict[str, list[Task]] = {}
@@ -320,11 +330,15 @@ def run_experiments(
         tasks = spec.tasks(overrides.get(name))
         per_spec[name] = tasks
         all_tasks.extend(tasks)
-    raw, metrics = run_tasks(all_tasks, jobs=jobs, cache=cache)
-    results = {
-        name: SPECS[name].merge_results(
-            [raw[(name, task.shard)] for task in per_spec[name]]
-        )
-        for name in names
-    }
+    raw, metrics = run_tasks(
+        all_tasks, jobs=jobs, cache=cache, policy=policy, faults=faults,
+        journal=journal, resume=resume, on_partial=on_partial,
+    )
+    results: dict[str, Any] = {}
+    for name in names:
+        parts = [
+            raw[(name, task.shard)] for task in per_spec[name]
+            if (name, task.shard) in raw
+        ]
+        results[name] = SPECS[name].merge_results(parts) if parts else None
     return results, metrics

@@ -18,6 +18,12 @@ reject the ways that assumption quietly breaks:
   heisenbug.  Compare with tolerances or integers instead.
 - ``mutable-default`` — a list/dict/set default argument is shared
   across calls and across experiments, leaking state between runs.
+- ``broad-except`` — a bare ``except:`` or ``except Exception``/
+  ``except BaseException`` handler that swallows the error (no
+  ``raise``, no logging/reporting call).  Silently eating failures is
+  how a quarantine-worthy fault turns into a wrong number; the
+  supervised runner's intentionally-broad catch sites carry reviewed
+  ``allow`` annotations.
 
 A finding on a line containing ``# repro: allow(<rule>[, <rule>...])``
 is suppressed — the suppression is part of the reviewed source, so every
@@ -37,6 +43,7 @@ LINT_RULES: tuple[str, ...] = (
     "wall-clock",
     "float-eq",
     "mutable-default",
+    "broad-except",
 )
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
@@ -48,6 +55,13 @@ _WALL_CLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns",
                     "perf_counter", "perf_counter_ns", "process_time",
                     "localtime", "gmtime"}
 _WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+# Broad exception names, and call names that count as "the handler
+# reported the error" (so the catch is observable, not a silent eat).
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+_REPORTING_CALLS = {"log", "debug", "info", "warning", "warn", "error",
+                    "exception", "critical", "print", "write",
+                    "format_exc", "print_exc"}
 
 
 def _suppressions(source: str) -> dict[int, set[str]]:
@@ -174,6 +188,55 @@ class _Linter(ast.NodeVisitor):
                         f"tolerance (math.isclose) or integers",
                     )
                     break
+        self.generic_visit(node)
+
+    # -- broad-except ------------------------------------------------------
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        """Bare ``except:``/``except Exception``/``except BaseException``
+        (alone or inside a tuple of exception types)."""
+        kind = handler.type
+        if kind is None:
+            return True
+        types = kind.elts if isinstance(kind, ast.Tuple) else [kind]
+        return any(
+            isinstance(t, ast.Name) and t.id in _BROAD_EXCEPTIONS
+            for t in types
+        )
+
+    @staticmethod
+    def _handler_reports(handler: ast.ExceptHandler) -> bool:
+        """Does the handler body re-raise, or call something that makes
+        the swallowed error observable (logging, printing, formatting
+        the traceback)?"""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = None
+                if isinstance(func, ast.Attribute):
+                    name = func.attr
+                elif isinstance(func, ast.Name):
+                    name = func.id
+                if name in _REPORTING_CALLS:
+                    return True
+        return False
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            if self._is_broad(handler) and not self._handler_reports(handler):
+                caught = "bare except" if handler.type is None else \
+                    f"except {ast.unparse(handler.type)}"
+                # Flagged on the handler's own line so the allow-comment
+                # sits next to the catch, not the try.
+                self.findings.append((
+                    handler.lineno, "broad-except",
+                    f"{caught} swallows the error without re-raising or "
+                    f"reporting it; narrow the exception, re-raise, or "
+                    f"log what was caught",
+                ))
         self.generic_visit(node)
 
     # -- mutable-default ---------------------------------------------------

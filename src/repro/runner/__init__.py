@@ -1,18 +1,28 @@
-"""Parallel experiment runner: process pool + result cache + metrics.
+"""Parallel experiment runner: supervised pool + result cache + metrics.
 
 The pieces, each usable on its own:
 
 - :mod:`repro.runner.fingerprint` — SHA-256 over the package sources;
   any code change invalidates every cached result.
 - :mod:`repro.runner.cache` — content-addressed on-disk store keyed by
-  ``(call id, kwargs, code fingerprint)``.
+  ``(call id, kwargs, code fingerprint)``; damaged entries are
+  quarantined (``*.corrupt``), never re-read.
+- :mod:`repro.runner.resilience` — the supervised executor: per-task
+  timeouts with a watchdog, bounded deterministic retries, crash and
+  corrupt-result detection, failure quarantine, ``fail_fast``.
+- :mod:`repro.runner.journal` — per-fingerprint completion journal
+  under the cache root; powers ``--resume``.
 - :mod:`repro.runner.core` — :class:`Task` and :func:`run_tasks`, the
-  pool executor (``jobs=1`` runs inline, deterministically identical).
+  supervised executor (``jobs=1`` runs inline, deterministically
+  identical).
 - :mod:`repro.runner.metrics` — per-task wall time / cache status /
-  event tallies, exported as JSON and a rendered summary.
+  attempts / quarantine records, exported as JSON and a rendered
+  summary.
 
-The experiment-level API (sharding Table 3 into its 18 benchmarks and
-so on) lives in :mod:`repro.analysis.registry`, which builds on these.
+Fault injection for testing all of the above lives in
+:mod:`repro.faults`.  The experiment-level API (sharding Table 3 into
+its 18 benchmarks and so on) lives in :mod:`repro.analysis.registry`,
+which builds on these.
 """
 
 from repro.runner.cache import (
@@ -26,20 +36,36 @@ from repro.runner.cache import (
 )
 from repro.runner.core import Task, run_tasks
 from repro.runner.fingerprint import code_fingerprint
+from repro.runner.journal import RunJournal
 from repro.runner.metrics import METRICS_SCHEMA_VERSION, RunMetrics, TaskMetrics
+from repro.runner.resilience import (
+    FailFastError,
+    SupervisionPolicy,
+    TaskFailure,
+    TaskOutcome,
+    supervised_call,
+    supervised_map,
+)
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "METRICS_SCHEMA_VERSION",
     "CacheEntry",
+    "FailFastError",
     "ResultCache",
+    "RunJournal",
     "RunMetrics",
+    "SupervisionPolicy",
     "Task",
+    "TaskFailure",
     "TaskMetrics",
+    "TaskOutcome",
     "cached_call",
     "call_id_for",
     "canonical_kwargs",
     "code_fingerprint",
     "default_cache_dir",
     "run_tasks",
+    "supervised_call",
+    "supervised_map",
 ]

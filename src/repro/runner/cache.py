@@ -76,9 +76,23 @@ class ResultCache:
             with pkl.open("rb") as fh:
                 result = pickle.load(fh)
             info = json.loads(meta.read_text()) if meta.exists() else {}
-        except (OSError, pickle.PickleError, json.JSONDecodeError):
+        except Exception:  # repro: allow(broad-except) — any damage (truncation, unpicklable class, bad JSON) quarantines the entry and recomputes
+            self._quarantine(pkl, meta)
             return None  # treat a damaged entry as a miss
         return CacheEntry(result=result, meta=info)
+
+    def _quarantine(self, *paths: Path) -> None:
+        """Move a damaged entry aside (``*.corrupt``) so it is never
+        re-read, and count the event for the metrics surface."""
+        from repro.common import tally
+
+        for path in paths:
+            try:
+                if path.exists():
+                    path.replace(path.with_suffix(path.suffix + ".corrupt"))
+            except OSError:
+                pass  # a second reader won the rename race; entry is gone either way
+        tally.add("cache_corrupt_entries", 1)
 
     def store(self, key: str, result: Any, meta: dict[str, Any]) -> None:
         pkl, meta_path = self._paths(key)

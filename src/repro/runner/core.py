@@ -15,19 +15,39 @@ Execution contract, which makes ``--jobs N`` byte-identical to
   order;
 - with ``jobs=1`` everything runs inline in this process (no pool, same
   code path for cache and metrics).
+
+Execution is **supervised** (see :mod:`repro.runner.resilience`): a
+crashed, hung, or corrupt-result task is retried under the
+:class:`SupervisionPolicy` and, if it exhausts its retries,
+*quarantined* — recorded in :class:`RunMetrics` with its exception
+type, traceback, attempt count and worker pid — while every other task
+still completes and caches.  Completed tasks are journaled under the
+cache root (see :mod:`repro.runner.journal`) so an interrupted sweep
+resumes instead of recomputing.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common import tally
+from repro.faults import FaultPlan
 from repro.runner.cache import ResultCache, canonical_kwargs
+from repro.runner.journal import (
+    STATUS_DONE,
+    STATUS_QUARANTINED,
+    RunJournal,
+)
 from repro.runner.metrics import RunMetrics, TaskMetrics
+from repro.runner.resilience import (
+    FailFastError,
+    SupervisionPolicy,
+    TaskOutcome,
+    supervised_map,
+)
 
 
 @dataclass(frozen=True)
@@ -61,14 +81,32 @@ def run_tasks(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    policy: SupervisionPolicy | None = None,
+    faults: FaultPlan | None = None,
+    journal: RunJournal | None = None,
+    resume: bool = False,
+    on_partial: Callable[[RunMetrics], None] | None = None,
 ) -> tuple[dict[tuple[str, str], Any], RunMetrics]:
     """Run tasks, via the cache where possible, across ``jobs`` workers.
 
     Returns ``(results, metrics)`` where ``results`` maps
     ``(experiment, shard)`` to the task's return value and ``metrics``
-    lists one record per task in submission order.
+    lists one record per task in submission order.  A quarantined task
+    (one that exhausted its retries under ``policy``) has **no** entry
+    in ``results``; its failure is recorded in ``metrics`` instead.
+
+    ``journal``/``resume``: completed tasks are journaled as they
+    settle; with ``resume=True`` tasks the journal marks done are
+    served from the cache without re-execution (the journal is keyed by
+    code fingerprint and cache key, so stale journals never match).
+
+    On ``KeyboardInterrupt`` the workers are terminated, the journal
+    stays flushed, and ``on_partial`` (if given) receives the metrics
+    for everything that settled before the interrupt — then the
+    interrupt re-raises, leaving the sweep cleanly resumable.
     """
     started = time.perf_counter()  # repro: allow(wall-clock)
+    policy = policy or SupervisionPolicy()
     metrics = RunMetrics(
         jobs=max(1, jobs),
         fingerprint=cache.fingerprint if cache else "",
@@ -77,6 +115,10 @@ def run_tasks(
     records: dict[tuple[str, str], TaskMetrics] = {}
     pending: list[Task] = []
 
+    if journal is not None:
+        journal.begin(resume=resume)
+    journaled = journal.completed() if (journal is not None and resume) else {}
+
     for task in tasks:
         slot = (task.experiment, task.shard)
         if cache is not None:
@@ -84,21 +126,25 @@ def run_tasks(
             t0 = time.perf_counter()  # repro: allow(wall-clock)
             entry = cache.load(key)
             if entry is not None:
+                resumed = journaled.get(task.label) == key
                 results[slot] = entry.result
                 records[slot] = TaskMetrics(
                     experiment=task.experiment,
                     shard=task.shard,
-                    cache="hit",
+                    cache="resumed" if resumed else "hit",
                     wall_s=time.perf_counter() - t0,  # repro: allow(wall-clock)
                     worker=os.getpid(),
                     tallies=dict(entry.meta.get("tallies", {})),
                     key=key,
                 )
+                if journal is not None and not resumed:
+                    journal.record(task.label, status=STATUS_DONE, key=key)
                 continue
         pending.append(task)
 
     def record_miss(task: Task, result: Any, wall: float,
-                    tallies: dict[str, int], worker: int) -> None:
+                    tallies: dict[str, int], worker: int,
+                    attempts: int = 1) -> None:
         slot = (task.experiment, task.shard)
         key = ""
         if cache is not None:
@@ -119,20 +165,67 @@ def run_tasks(
             worker=worker,
             tallies=tallies,
             key=key,
+            attempts=attempts,
         )
+        if journal is not None:
+            journal.record(task.label, status=STATUS_DONE, key=key,
+                           attempts=attempts)
 
-    if jobs <= 1 or len(pending) <= 1:
-        for task in pending:
-            record_miss(task, *_execute(task))
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(_execute, task): task for task in pending}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record_miss(futures[future], *future.result())
+    def record_quarantine(task: Task, outcome: TaskOutcome) -> None:
+        slot = (task.experiment, task.shard)
+        key = cache.key(task.call_id(), task.kwargs) if cache else ""
+        failure = outcome.failure
+        assert failure is not None
+        records[slot] = TaskMetrics(
+            experiment=task.experiment,
+            shard=task.shard,
+            cache="miss" if cache is not None else "off",
+            wall_s=outcome.wall_s,
+            worker=failure.worker,
+            key=key,
+            status=STATUS_QUARANTINED,
+            attempts=outcome.attempts,
+            failure=failure.to_json(),
+        )
+        if journal is not None:
+            journal.record(task.label, status=STATUS_QUARANTINED, key=key,
+                           attempts=outcome.attempts)
 
-    metrics.tasks = [records[(t.experiment, t.shard)] for t in tasks]
-    metrics.wall_s = time.perf_counter() - started  # repro: allow(wall-clock)
+    def on_done(index: int, outcome: TaskOutcome) -> None:
+        task = pending[index]
+        if outcome.ok:
+            result, wall, tallies, worker = outcome.result
+            record_miss(task, result, wall, tallies, worker,
+                        attempts=outcome.attempts)
+        else:
+            record_quarantine(task, outcome)
+
+    def finalize() -> None:
+        metrics.tasks = [
+            records[(t.experiment, t.shard)] for t in tasks
+            if (t.experiment, t.shard) in records
+        ]
+        metrics.wall_s = time.perf_counter() - started  # repro: allow(wall-clock)
+
+    try:
+        if pending:
+            supervised_map(
+                _execute,
+                pending,
+                labels=[task.label for task in pending],
+                jobs=jobs,
+                policy=policy,
+                faults=faults,
+                on_done=on_done,
+            )
+    except (KeyboardInterrupt, FailFastError):
+        # Workers are already terminated and every settled task is
+        # journaled/cached; hand the partial metrics out and re-raise
+        # so the caller can report and the user can `--resume`.
+        finalize()
+        if on_partial is not None:
+            on_partial(metrics)
+        raise
+
+    finalize()
     return results, metrics

@@ -2,10 +2,12 @@
 
 Every task (an experiment, or one shard of a sharded experiment) gets a
 :class:`TaskMetrics` record — wall time, cache hit/miss, the worker that
-ran it, and the event tallies the simulators reported while it ran
-(GSPN firings, MP ops).  :class:`RunMetrics` aggregates them into the
-JSON artifact behind ``--metrics-out`` and the summary table printed
-after a run.
+ran it, the event tallies the simulators reported while it ran
+(GSPN firings, MP ops), and — under the supervised executor — how many
+attempts it took and, for a quarantined task, the full failure record
+(kind, exception type, message, traceback, worker pid).
+:class:`RunMetrics` aggregates them into the JSON artifact behind
+``--metrics-out`` and the summary table printed after a run.
 """
 
 from __future__ import annotations
@@ -14,21 +16,29 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-METRICS_SCHEMA_VERSION = 1
+# v2: per-task "status"/"attempts"/"failure" fields and the run-level
+# "quarantined" count (fault-tolerant supervised executor).
+METRICS_SCHEMA_VERSION = 2
+
+STATUS_OK = "ok"
+STATUS_QUARANTINED = "quarantined"
 
 
 @dataclass
 class TaskMetrics:
     experiment: str
     shard: str
-    cache: str  # "hit" | "miss" | "off"
+    cache: str  # "hit" | "miss" | "off" | "resumed"
     wall_s: float
     worker: int  # pid of the executing process (parent pid for hits)
     tallies: dict[str, int] = field(default_factory=dict)
     key: str = ""
+    status: str = STATUS_OK  # "ok" | "quarantined"
+    attempts: int = 1
+    failure: dict | None = None  # TaskFailure.to_json() when quarantined
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "experiment": self.experiment,
             "shard": self.shard,
             "cache": self.cache,
@@ -36,7 +46,12 @@ class TaskMetrics:
             "worker": self.worker,
             "tallies": dict(self.tallies),
             "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
         }
+        if self.failure is not None:
+            payload["failure"] = dict(self.failure)
+        return payload
 
 
 @dataclass
@@ -48,16 +63,26 @@ class RunMetrics:
 
     @property
     def hits(self) -> int:
-        return sum(1 for t in self.tasks if t.cache == "hit")
+        return sum(1 for t in self.tasks if t.cache in ("hit", "resumed"))
 
     @property
     def misses(self) -> int:
-        return sum(1 for t in self.tasks if t.cache == "miss")
+        return sum(1 for t in self.tasks
+                   if t.cache == "miss" and t.status == STATUS_OK)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for t in self.tasks if t.status == STATUS_QUARANTINED)
+
+    @property
+    def failures(self) -> list[TaskMetrics]:
+        return [t for t in self.tasks if t.status == STATUS_QUARANTINED]
 
     @property
     def busy_s(self) -> float:
         """Total worker-occupied seconds (cache hits cost ~nothing)."""
-        return sum(t.wall_s for t in self.tasks if t.cache != "hit")
+        return sum(t.wall_s for t in self.tasks
+                   if t.cache not in ("hit", "resumed"))
 
     @property
     def utilization(self) -> float:
@@ -84,6 +109,7 @@ class RunMetrics:
             "utilization": self.utilization,
             "cache_hits": self.hits,
             "cache_misses": self.misses,
+            "quarantined": self.quarantined,
             "tasks": [t.to_json() for t in self.tasks],
         }
 
@@ -121,4 +147,16 @@ class RunMetrics:
             f"busy={self.busy_s:.2f}s  utilization={self.utilization:.0%}  "
             f"cache {self.hits} hit / {self.misses} miss"
         )
+        if self.quarantined:
+            footer += f"  quarantined {self.quarantined}"
+            lines = [table, footer, "quarantined shards:"]
+            for task in self.failures:
+                info = task.failure or {}
+                lines.append(
+                    f"  {task.experiment}/{task.shard or '-'}: "
+                    f"{info.get('kind', '?')} after {task.attempts} "
+                    f"attempt(s) — {info.get('error_type', '?')}: "
+                    f"{info.get('message', '')}"
+                )
+            return "\n".join(lines)
         return f"{table}\n{footer}"

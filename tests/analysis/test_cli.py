@@ -3,6 +3,7 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.runner import METRICS_SCHEMA_VERSION
 
 
 @pytest.fixture
@@ -82,8 +83,9 @@ class TestCLI:
         assert main(["table1", "--metrics-out", str(out)]) == 0
         capsys.readouterr()
         data = json.loads(out.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == METRICS_SCHEMA_VERSION
         assert data["tasks"][0]["experiment"] == "table1"
+        assert data["quarantined"] == 0
 
     def test_jobs_flag_parses(self, capsys, cache_dir):
         assert main(["table1", "--jobs", "2", "--no-cache"]) == 0
@@ -92,3 +94,55 @@ class TestCLI:
     def test_docs_rejects_partial_selection(self, capsys):
         assert main(["docs", "--only", "table1"]) == 2
         assert "docs" in capsys.readouterr().err
+
+
+class TestCLIFaultTolerance:
+    def test_injected_crash_is_quarantined_with_nonzero_exit(
+            self, capsys, cache_dir, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main([
+            "table1", "--inject", "table1=crash", "--max-retries", "0",
+            "--metrics-out", str(out),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        data = json.loads(out.read_text())
+        assert data["quarantined"] == 1
+        [task] = [t for t in data["tasks"] if t["status"] == "quarantined"]
+        assert task["failure"]["kind"] == "crash"
+
+    def test_injected_crash_recovers_with_a_retry(self, capsys, cache_dir):
+        assert main([
+            "table1", "--inject", "table1=crash:1", "--max-retries", "1",
+        ]) == 0
+        assert "SparcStation-5" in capsys.readouterr().out
+
+    def test_resume_serves_journaled_shards(self, capsys, cache_dir, tmp_path):
+        assert main(["table1"]) == 0
+        first = capsys.readouterr()
+        out = tmp_path / "metrics.json"
+        assert main(["table1", "--resume", "--metrics-out", str(out)]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # byte-identical rendered tables
+        data = json.loads(out.read_text())
+        assert [t["cache"] for t in data["tasks"]] == ["resumed"]
+
+    def test_resume_requires_the_cache(self, capsys):
+        assert main(["table1", "--resume", "--no-cache"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_bad_inject_rejected(self, capsys):
+        assert main(["table1", "--inject", "table1=explode"]) == 2
+        assert "inject" in capsys.readouterr().err.lower()
+
+    def test_bad_timeout_rejected(self, capsys, cache_dir):
+        assert main(["table1", "--task-timeout", "0"]) == 2
+        assert "task_timeout" in capsys.readouterr().err
+
+    def test_fail_fast_aborts(self, capsys, cache_dir):
+        assert main([
+            "all", "--only", "table1,figure2", "--inject", "table1=raise",
+            "--max-retries", "0", "--fail-fast",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "fail-fast" in err and "--resume" in err

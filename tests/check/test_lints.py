@@ -105,6 +105,88 @@ class TestMutableDefault:
         assert rules_of("def f(a=None, b=(), c=0): pass\n") == []
 
 
+class TestBroadExcept:
+    def test_bare_except_swallow_flagged(self):
+        assert rules_of("""
+            try:
+                risky()
+            except:
+                pass
+        """) == ["broad-except"]
+
+    def test_except_exception_swallow_flagged(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception:
+                result = None
+        """) == ["broad-except"]
+
+    def test_except_base_exception_in_tuple_flagged(self):
+        assert rules_of("""
+            try:
+                risky()
+            except (ValueError, BaseException):
+                result = None
+        """) == ["broad-except"]
+
+    def test_reraise_allowed(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception:
+                cleanup()
+                raise
+        """) == []
+
+    def test_raise_from_allowed(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+        """) == []
+
+    def test_logging_call_allowed(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception as exc:
+                log.warning("recovering from %s", exc)
+        """) == []
+
+    def test_print_allowed(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception as exc:
+                print(exc)
+        """) == []
+
+    def test_narrow_except_allowed(self):
+        assert rules_of("""
+            try:
+                risky()
+            except (OSError, ValueError):
+                result = None
+        """) == []
+
+    def test_allow_comment_on_handler_line_suppresses(self):
+        assert rules_of("""
+            try:
+                risky()
+            except Exception:  # repro: allow(broad-except)
+                result = None
+        """) == []
+
+    def test_flagged_on_the_handler_line(self):
+        findings = lint_source(
+            "try:\n    risky()\nexcept Exception:\n    pass\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].location.endswith(":3")
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_on_its_line(self):
         assert rules_of("""

@@ -1,6 +1,12 @@
-"""Monte-Carlo replication fan-out: determinism across worker counts."""
+"""Monte-Carlo replication fan-out: determinism across worker counts,
+and failure handling through the supervised executor."""
 
+import pytest
+
+from repro.common.errors import SimulationError
 from repro.common.rng import make_rng, split_rng
+from repro.faults import FaultPlan
+from repro.runner import SupervisionPolicy
 from repro.gspn.models import (
     ISSUE_TRANSITION,
     MemoryPathProbs,
@@ -53,3 +59,44 @@ class TestRunReplications:
             stop_transition=ISSUE_TRANSITION, stop_count=300,
         )
         assert [_key(r) for r in serial] == [_key(r) for r in parallel]
+
+
+def _bad_sim(seed: int) -> GSPNSimulator:
+    if seed == 3:
+        raise ValueError("seed 3 cannot build its net")
+    return _make_sim(seed)
+
+
+class TestReplicationFailures:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_error_names_the_offending_seed(self, jobs):
+        # One bad seed must not produce an opaque pool traceback: the
+        # error says which replication failed and why.
+        with pytest.raises(SimulationError, match=r"seed=3.*ValueError"):
+            run_replications(
+                _bad_sim, [1, 2, 3], jobs=jobs,
+                policy=SupervisionPolicy(max_retries=0),
+                stop_transition=ISSUE_TRANSITION, stop_count=100,
+            )
+
+    def test_crashed_worker_names_the_seed(self):
+        faults = FaultPlan.parse(["replication/seed=2=crash"])
+        with pytest.raises(SimulationError, match=r"seed=2.*crash"):
+            run_replications(
+                _make_sim, [1, 2, 3], jobs=2, faults=faults,
+                policy=SupervisionPolicy(max_retries=0),
+                stop_transition=ISSUE_TRANSITION, stop_count=100,
+            )
+
+    def test_transient_fault_is_retried_and_results_unchanged(self):
+        clean = run_replications(
+            _make_sim, [1, 2, 3],
+            stop_transition=ISSUE_TRANSITION, stop_count=300,
+        )
+        faults = FaultPlan.parse(["replication/seed=2=crash:1"])
+        retried = run_replications(
+            _make_sim, [1, 2, 3], jobs=2, faults=faults,
+            policy=SupervisionPolicy(max_retries=1),
+            stop_transition=ISSUE_TRANSITION, stop_count=300,
+        )
+        assert [_key(r) for r in clean] == [_key(r) for r in retried]

@@ -1,5 +1,6 @@
-"""Result cache: hit/miss semantics and key sensitivity."""
+"""Result cache: hit/miss semantics, key sensitivity, quarantine."""
 
+from repro.common import tally
 from repro.runner import ResultCache, cached_call
 
 
@@ -51,6 +52,40 @@ class TestResultCache:
         pkl, _ = cache._paths(key)
         pkl.write_bytes(b"not a pickle")
         assert cache.load(key) is None
+
+    def test_damaged_entry_is_quarantined_not_rereadable(self, tmp_path):
+        # A corrupt .pkl must be renamed aside so it is read (and fails)
+        # exactly once, and the event must surface in the tallies.
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {})
+        cache.store(key, [1, 2, 3], {"tallies": {}})
+        pkl, meta = cache._paths(key)
+        pkl.write_bytes(b"not a pickle")
+        before = tally.snapshot()
+        assert cache.load(key) is None
+        assert tally.since(before) == {"cache_corrupt_entries": 1}
+        assert not pkl.exists()
+        assert pkl.with_suffix(".pkl.corrupt").exists()
+        assert meta.with_suffix(".json.corrupt").exists()
+        # The quarantined entry stays a plain miss afterwards, with no
+        # second tally: there is nothing left on disk to re-read.
+        before = tally.snapshot()
+        assert cache.load(key) is None
+        assert tally.since(before) == {}
+        # A recompute can store fresh results under the same key.
+        cache.store(key, [4, 5], {})
+        entry = cache.load(key)
+        assert entry is not None and entry.result == [4, 5]
+
+    def test_damaged_meta_quarantines_both_files(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {})
+        cache.store(key, "value", {})
+        pkl, meta = cache._paths(key)
+        meta.write_text("{not json")
+        assert cache.load(key) is None
+        assert not pkl.exists() and not meta.exists()
+        assert pkl.with_suffix(".pkl.corrupt").exists()
 
 
 def _double(x=0):

@@ -67,15 +67,17 @@ class TestMetricsJSON:
         assert data["jobs"] == 2
         assert data["fingerprint"] == "c" * 64
         assert data["cache_misses"] == 4
+        assert data["quarantined"] == 0
         assert 0.0 <= data["utilization"] <= 1.0
         assert data["wall_s"] >= 0 and data["busy_s"] >= 0
         assert len(data["tasks"]) == 4
         for task in data["tasks"]:
             assert set(task) == {
                 "experiment", "shard", "cache", "wall_s", "worker",
-                "tallies", "key",
+                "tallies", "key", "status", "attempts",
             }
-            assert task["cache"] in ("hit", "miss", "off")
+            assert task["cache"] in ("hit", "miss", "off", "resumed")
+            assert task["status"] == "ok" and task["attempts"] == 1
             assert task["tallies"] == {"gspn_firings": 10 * int(task["shard"])}
 
     def test_render_mentions_cache_and_jobs(self):

@@ -19,6 +19,9 @@ device together with every substrate its evaluation depends on:
   the directory-based shared-memory multiprocessor.
 - :mod:`repro.uniproc`, :mod:`repro.machines`, :mod:`repro.analysis` -
   the performance pipeline and the per-table/per-figure experiments.
+- :mod:`repro.obs` - low-overhead hierarchical span tracing across all
+  of the above, with Chrome trace-event and perf-summary exporters
+  (the CLI's ``--trace`` / ``--perf-summary``).
 
 Quickstart::
 

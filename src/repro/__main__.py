@@ -14,7 +14,9 @@ progress, timing and the metrics summary go to stderr.  Results are
 cached under ``.repro-cache/`` keyed by (experiment, parameters, code
 fingerprint) — any source change invalidates the cache.  See
 ``--metrics-out`` for the per-task JSON (wall time, cache hit/miss,
-event tallies, worker utilization).
+event tallies, worker utilization), ``--trace`` for a Chrome
+trace-event timeline of every modeling layer, and ``--perf-summary``
+for the per-run throughput benchmark JSON.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.analysis import CLI_KNOBS, SPECS, run_experiments
 from repro.analysis.docs import (
     DEFAULT_ARTIFACTS_PATH,
@@ -149,6 +152,24 @@ def main(argv: list[str] | None = None) -> int:
              "N attempts (':N'); repeatable, also read from $REPRO_INJECT",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a Chrome trace-event JSON "
+             "(load in Perfetto / chrome://tracing) covering every "
+             "modeling layer",
+    )
+    parser.add_argument(
+        "--perf-summary",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a per-run perf summary "
+             "(wall time, events/sec per stage); default path "
+             "artifacts/bench/BENCH_<fingerprint>.json",
+    )
+    parser.add_argument(
         "--artifacts",
         default=str(DEFAULT_ARTIFACTS_PATH),
         metavar="PATH",
@@ -251,6 +272,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     journal = RunJournal(cache.root, cache.fingerprint) if cache else None
 
+    tracing = args.trace is not None or args.perf_summary is not None
+    spans_before = 0
+    if tracing:
+        # Enable before any worker spawns so pooled workers inherit the
+        # flag (via $REPRO_TRACE) and their spans ride back with results.
+        obs.enable()
+        spans_before = obs.mark()
+
     def write_partial(partial) -> None:
         if args.metrics_out:
             partial.write(args.metrics_out)
@@ -290,6 +319,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics_out:
         metrics.write(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+
+    if tracing:
+        records = obs.since(spans_before)
+        if args.trace is not None:
+            obs.write_chrome_trace(args.trace, records)
+            print(f"trace written to {args.trace} "
+                  f"({len(records)} spans)", file=sys.stderr)
+        if args.perf_summary is not None:
+            fingerprint = cache.fingerprint if cache else None
+            if fingerprint is None:
+                from repro.runner import code_fingerprint
+
+                fingerprint = code_fingerprint()
+            summary = obs.perf_summary(
+                records,
+                fingerprint=fingerprint,
+                jobs=args.jobs,
+                wall_s=metrics.wall_s,
+            )
+            bench_path = (Path(args.perf_summary) if args.perf_summary
+                          else obs.default_bench_path(fingerprint))
+            obs.write_perf_summary(bench_path, summary)
+            print(f"perf summary written to {bench_path}", file=sys.stderr)
 
     if metrics.quarantined:
         print(f"run finished with {metrics.quarantined} quarantined "

@@ -428,15 +428,12 @@ def section56(
         )
         result = sim.run(stop_transition=ISSUE_TRANSITION, stop_count=instructions)
         cpi[banks] = result.time / result.firings[ISSUE_TRANSITION]
-        # A bank is busy whenever an access or precharge holds its ready
-        # token outside the place (access) or in the precharge place.
-        accesses = sum(
-            count
-            for name, count in result.firings.items()
-            if "_access" in name and name.startswith("T_bank")
+        # Time-averaged busy fraction of each bank's ready place, straight
+        # from the simulator (busy = token absent, in precharge, or held by
+        # a running access timer), averaged across banks.
+        utilization[banks] = (
+            sum(result.busy_fraction[place] for place in track) / banks
         )
-        busy_cycles = accesses * (params.mem_access + params.precharge)
-        utilization[banks] = busy_cycles / (result.time * banks)
     return BankSweepExperiment(list(bank_counts), cpi, utilization, benchmark)
 
 

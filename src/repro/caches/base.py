@@ -17,6 +17,8 @@ from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import obs
+from repro.common import tally
 from repro.common.stats import RatioStat
 
 
@@ -102,8 +104,11 @@ class Cache:
 
     def run(self, trace: TraceLike | Iterable[tuple[int, bool]]) -> CacheStats:
         """Consume a whole trace and return the accumulated statistics."""
-        for addr, write in iter_trace(trace):
-            self.access(addr, write)
+        with obs.span(f"cache/run/{type(self).__name__}"):
+            before = self.stats.accesses
+            for addr, write in iter_trace(trace):
+                self.access(addr, write)
+            tally.add("cache_refs", self.stats.accesses - before)
         return self.stats
 
 

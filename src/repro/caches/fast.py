@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+from repro.common import tally
 from repro.common.address import vector_set_index, vector_tag
 from repro.common.params import CacheGeometry
 
@@ -45,7 +47,9 @@ def direct_mapped_miss_flags(addrs: np.ndarray, geometry: CacheGeometry) -> np.n
 
 def direct_mapped_miss_rate(addrs: np.ndarray, geometry: CacheGeometry) -> float:
     """Exact overall miss rate for a direct-mapped cache."""
-    flags = direct_mapped_miss_flags(addrs, geometry)
+    with obs.span("cache/fast/direct-mapped"):
+        flags = direct_mapped_miss_flags(addrs, geometry)
+        tally.add("cache_refs", int(flags.size))
     return float(flags.mean()) if flags.size else 0.0
 
 
@@ -93,13 +97,19 @@ def set_assoc_miss_rate(addrs: np.ndarray, geometry: CacheGeometry) -> float:
     """Exact miss rate for 1-way or 2-way geometries via the fast paths,
     falling back to the reference simulator for other associativities."""
     if geometry.ways == 1:
+        # Delegates; the direct-mapped fast path records its own span
+        # and cache_refs tally.
         return direct_mapped_miss_rate(addrs, geometry)
     if geometry.ways == 2:
-        flags = two_way_lru_miss_flags(addrs, geometry)
+        with obs.span("cache/fast/two-way-lru"):
+            flags = two_way_lru_miss_flags(addrs, geometry)
+            tally.add("cache_refs", int(flags.size))
         return float(flags.mean()) if flags.size else 0.0
     from repro.caches.set_assoc import SetAssociativeCache
 
-    cache = SetAssociativeCache(geometry)
-    for addr in np.asarray(addrs, dtype=np.int64).tolist():
-        cache.access(addr)
+    with obs.span("cache/fast/set-assoc-fallback"):
+        cache = SetAssociativeCache(geometry)
+        for addr in np.asarray(addrs, dtype=np.int64).tolist():
+            cache.access(addr)
+        tally.add("cache_refs", cache.stats.accesses)
     return cache.stats.miss_rate

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum
 
+from repro import obs
+from repro.common import tally
 from repro.common.params import CacheGeometry, ConventionalSystemParams
 from repro.common.stats import RatioStat
 from repro.caches.base import TraceLike, iter_trace
@@ -94,8 +96,12 @@ class TwoLevelHierarchy:
         return ServiceLevel.L2 if l2_hit else ServiceLevel.MEMORY
 
     def run(self, trace: TraceLike) -> HierarchyStats:
-        for addr, write in iter_trace(trace):
-            self.access(addr, write)
+        with obs.span("cache/run/TwoLevelHierarchy"):
+            refs = 0
+            for addr, write in iter_trace(trace):
+                self.access(addr, write)
+                refs += 1
+            tally.add("cache_refs", refs)
         return self.stats
 
     def reset(self) -> None:

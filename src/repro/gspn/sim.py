@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.common import tally
 from repro.common.errors import SimulationError
 from repro.gspn.net import PetriNet, TransitionKind
@@ -33,7 +34,23 @@ _MAX_IMMEDIATE_CHAIN = 1_000_000
 
 @dataclass
 class SimResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``time``, ``firings`` and ``events`` are *lifetime* quantities (the
+    simulator's clock and counts since construction/:meth:`reset`);
+    ``mean_marking`` and ``busy_fraction`` are averaged over the
+    **window of the** :meth:`~GSPNSimulator.run` **call that returned
+    this result**, so a warmup run followed by a measurement run
+    reports steady-state means uncontaminated by the transient.
+
+    ``busy_fraction`` maps each tracked place to the fraction of window
+    time its resource was committed: the place was empty (its token out
+    working elsewhere, e.g. a bank in precharge) or a timed transition
+    consuming from it held a running timer (an access in service).  For
+    a server place such as the membank net's ``ready`` this is exactly
+    the queueing-theoretic utilization; for pure buffer places it is
+    not meaningful.
+    """
 
     time: float
     firings: dict[str, int]
@@ -94,6 +111,18 @@ class GSPNSimulator:
                 self._affected[self._place_ids[place]].append(tid)
         self._track = [self._place_ids[p] for p in track_places]
         self._track_names = list(track_places)
+        # Timed transitions consuming from each tracked place: a running
+        # timer on one of these marks the place's resource as committed
+        # (in service), which feeds the busy_fraction statistic.
+        self._track_consumers = [
+            [
+                tid
+                for tid in range(len(self._tran_names))
+                if self._kind[tid] is not TransitionKind.IMMEDIATE
+                and any(p == place for p, _ in self._inputs[tid])
+            ]
+            for place in self._track
+        ]
         self.reset()
 
     # -- state ------------------------------------------------------------
@@ -110,6 +139,7 @@ class GSPNSimulator:
         self._heap: list[tuple[float, int, int]] = []  # (time, tid, epoch)
         self._enabled_imm: set[int] = set()
         self._marking_area = [0.0] * len(self._track)
+        self._busy_area = [0.0] * len(self._track)
         for tid in range(len(self._tran_names)):
             self._refresh(tid)
 
@@ -200,6 +230,10 @@ class GSPNSimulator:
             dt = time - self.clock
             for slot, place in enumerate(self._track):
                 self._marking_area[slot] += self.marking[place] * dt
+                if self.marking[place] == 0 or any(
+                    t in self._timers for t in self._track_consumers[slot]
+                ):
+                    self._busy_area[slot] += dt
             self.clock = time
             self._fire(tid)
             return True
@@ -214,25 +248,56 @@ class GSPNSimulator:
         stop_count: int = 0,
         max_events: int = 50_000_000,
     ) -> SimResult:
-        """Run until ``max_time``, a firing-count target, or deadlock."""
-        if stop_transition is not None and stop_transition not in self._tran_ids:
-            raise SimulationError(f"unknown transition {stop_transition}")
+        """Run until ``max_time``, a firing-count target, or deadlock.
+
+        Repeated calls continue from the current state; each call's
+        result reports ``mean_marking``/``busy_fraction`` averaged over
+        that call's window only (the warmup-then-measure idiom), while
+        ``time``/``firings``/``events`` stay lifetime totals.
+        """
+        if stop_transition is not None:
+            if stop_transition not in self._tran_ids:
+                raise SimulationError(f"unknown transition {stop_transition}")
+            if stop_count < 1:
+                raise SimulationError(
+                    f"stop_transition={stop_transition!r} requires "
+                    f"stop_count >= 1, got {stop_count}: a firing-count "
+                    f"target of {stop_count} is already met before the "
+                    f"first event, so the run would return immediately"
+                )
         stop_tid = self._tran_ids.get(stop_transition) if stop_transition else None
         events_before = self.events
+        clock_before = self.clock
+        marking_area_before = list(self._marking_area)
+        busy_area_before = list(self._busy_area)
         deadlocked = False
-        self._settle_immediates()
-        while self.clock < max_time and self.events < max_events:
-            if stop_tid is not None and self.firing_counts[stop_tid] >= stop_count:
-                break
-            if not self._advance():
-                deadlocked = True
-                break
+        with obs.span(f"gspn/run/{self.net.name}"):
             self._settle_immediates()
+            while self.clock < max_time and self.events < max_events:
+                if stop_tid is not None and self.firing_counts[stop_tid] >= stop_count:
+                    break
+                if not self._advance():
+                    deadlocked = True
+                    break
+                self._settle_immediates()
+            tally.add("gspn_firings", self.events - events_before)
+        window = self.clock - clock_before
         mean_marking = {
-            name: (self._marking_area[slot] / self.clock if self.clock > 0 else 0.0)
+            name: (
+                (self._marking_area[slot] - marking_area_before[slot]) / window
+                if window > 0
+                else 0.0
+            )
             for slot, name in enumerate(self._track_names)
         }
-        tally.add("gspn_firings", self.events - events_before)
+        busy_fraction = {
+            name: (
+                (self._busy_area[slot] - busy_area_before[slot]) / window
+                if window > 0
+                else 0.0
+            )
+            for slot, name in enumerate(self._track_names)
+        }
         return SimResult(
             time=self.clock,
             firings={
@@ -243,6 +308,7 @@ class GSPNSimulator:
             mean_marking=mean_marking,
             events=self.events,
             deadlocked=deadlocked,
+            busy_fraction=busy_fraction,
         )
 
 

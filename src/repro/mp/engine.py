@@ -17,6 +17,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.common import tally
 from repro.common.errors import SimulationError
 from repro.mp.ops import Barrier, Compute, Lock, Op, Read, Unlock, Write
@@ -73,6 +74,10 @@ class MPEngine:
         self.max_ops = max_ops
 
     def run(self, kernel: KernelFactory) -> MPResult:
+        with obs.span("mp/run"):
+            return self._run(kernel)
+
+    def _run(self, kernel: KernelFactory) -> MPResult:
         n = self.system.num_nodes
         procs = [kernel(i, n) for i in range(n)]
         time = [0] * n

@@ -1,0 +1,74 @@
+"""Observability: hierarchical span tracing and its exporters.
+
+The package-wide tracing layer behind ``python -m repro <experiment>
+--trace out.json`` and ``--perf-summary``:
+
+- :mod:`repro.obs.spans` — the tracer itself: ``span()`` context
+  managers with monotonic timing, nesting, counter attachment, and
+  automatic :mod:`repro.common.tally` delta capture.  Off by default;
+  the disabled path is a shared no-op object, cheap enough to leave in
+  every hot entry point.
+- :mod:`repro.obs.export` — the Chrome trace-event JSON exporter
+  (loadable in Perfetto) and the per-run ``BENCH_<fingerprint>.json``
+  perf summary.
+
+All four modeling layers are instrumented at their run() granularity:
+trace generation (``trace/gen/*``), trace-driven cache sweeps
+(``cache/*``), the GSPN event loop (``gspn/run/*``), the MP engine
+(``mp/run``), and the supervised runner (``task/<experiment>/<shard>``).
+Spans recorded inside pool workers ride back on the supervised
+executor's verified result messages and are absorbed by the parent, so
+``--jobs N`` traces are as complete as inline ones.
+"""
+
+from repro.obs.export import (
+    DEFAULT_BENCH_DIR,
+    EVENT_COUNTERS,
+    PERF_SUMMARY_SCHEMA_VERSION,
+    aggregate_stages,
+    chrome_trace,
+    default_bench_path,
+    perf_summary,
+    write_chrome_trace,
+    write_perf_summary,
+)
+from repro.obs.spans import (
+    ENV_FLAG,
+    SpanRecord,
+    absorb,
+    add,
+    disable,
+    enable,
+    enabled,
+    mark,
+    records,
+    reset,
+    rollback,
+    since,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_DIR",
+    "ENV_FLAG",
+    "EVENT_COUNTERS",
+    "PERF_SUMMARY_SCHEMA_VERSION",
+    "SpanRecord",
+    "absorb",
+    "add",
+    "aggregate_stages",
+    "chrome_trace",
+    "default_bench_path",
+    "disable",
+    "enable",
+    "enabled",
+    "mark",
+    "perf_summary",
+    "records",
+    "reset",
+    "rollback",
+    "since",
+    "span",
+    "write_chrome_trace",
+    "write_perf_summary",
+]

@@ -1,0 +1,121 @@
+"""Span exporters: Chrome trace-event JSON and the perf summary.
+
+Two consumers of the same :class:`~repro.obs.spans.SpanRecord` stream:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format (complete ``"ph": "X"`` events) that ``chrome://tracing`` and
+  Perfetto load directly.  Each process becomes one pid/tid track;
+  nesting falls out of the timestamps.
+- :func:`perf_summary` / :func:`write_perf_summary` — a per-run
+  ``BENCH_<fingerprint>.json``: wall time, simulated events/sec, and a
+  per-stage breakdown (span count, total seconds, summed counters, and
+  counter-per-second rates such as cache-sim refs/sec).  One file per
+  code fingerprint seeds the bench trajectory under
+  ``artifacts/bench/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import SpanRecord
+
+PERF_SUMMARY_SCHEMA_VERSION = 1
+
+DEFAULT_BENCH_DIR = Path("artifacts") / "bench"
+
+# Counters that count simulated work; their depth-0 totals make the
+# headline events/sec figure (nested spans re-report their parents'
+# tally deltas, so deeper depths would double-count).
+EVENT_COUNTERS = ("gspn_firings", "mp_ops", "cache_refs", "trace_refs")
+
+
+def chrome_trace(records: list[SpanRecord]) -> dict:
+    """The records as a Trace Event Format document (JSON-ready dict)."""
+    events = []
+    for record in sorted(records, key=lambda r: (r.pid, r.start_ns)):
+        events.append({
+            "name": record.name,
+            "cat": record.name.split("/", 1)[0],
+            "ph": "X",
+            "ts": record.start_ns / 1000.0,  # microseconds
+            "dur": record.dur_ns / 1000.0,
+            "pid": record.pid,
+            "tid": record.pid,
+            "args": {name: record.counters[name]
+                     for name in sorted(record.counters)},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Path | str, records: list[SpanRecord]) -> None:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(records), indent=1) + "\n")
+
+
+def aggregate_stages(records: list[SpanRecord]) -> dict[str, dict]:
+    """Per-stage rollup: spans grouped by name.
+
+    Each stage reports how many spans it covered, their total wall
+    seconds, the summed counters, and per-second rates for every
+    counter (0 when the stage took no measurable time).
+    """
+    stages: dict[str, dict] = {}
+    for record in records:
+        stage = stages.setdefault(record.name, {
+            "count": 0, "wall_s": 0.0, "counters": {},
+        })
+        stage["count"] += 1
+        stage["wall_s"] += record.dur_ns / 1e9
+        for name, value in record.counters.items():
+            stage["counters"][name] = stage["counters"].get(name, 0) + value
+    for stage in stages.values():
+        wall = stage["wall_s"]
+        stage["per_sec"] = {
+            name: (value / wall if wall > 0 else 0.0)
+            for name, value in sorted(stage["counters"].items())
+        }
+    return stages
+
+
+def perf_summary(
+    records: list[SpanRecord],
+    *,
+    fingerprint: str,
+    jobs: int,
+    wall_s: float,
+) -> dict:
+    """The ``BENCH_*.json`` payload for one run."""
+    events = sum(
+        value
+        for record in records if record.depth == 0
+        for name, value in record.counters.items()
+        if name in EVENT_COUNTERS
+    )
+    return {
+        "schema": PERF_SUMMARY_SCHEMA_VERSION,
+        "kind": "bench",
+        "fingerprint": fingerprint,
+        "jobs": jobs,
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "spans": len(records),
+        "stages": aggregate_stages(records),
+    }
+
+
+def default_bench_path(fingerprint: str, root: Path | str | None = None) -> Path:
+    """``artifacts/bench/BENCH_<fingerprint prefix>.json``."""
+    base = Path(root) if root is not None else DEFAULT_BENCH_DIR
+    return base / f"BENCH_{fingerprint[:12]}.json"
+
+
+def write_perf_summary(path: Path | str, summary: dict) -> None:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

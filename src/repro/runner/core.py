@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import obs
 from repro.common import tally
 from repro.faults import FaultPlan
 from repro.runner.cache import ResultCache, canonical_kwargs
@@ -71,7 +72,8 @@ def _execute(task: Task) -> tuple[Any, float, dict[str, int], int]:
     """Worker entry point: run one task, measure wall time and tallies."""
     before = tally.snapshot()
     started = time.perf_counter()  # repro: allow(wall-clock)
-    result = task.fn(**task.kwargs)
+    with obs.span(f"task/{task.label}"):
+        result = task.fn(**task.kwargs)
     wall = time.perf_counter() - started  # repro: allow(wall-clock)
     return result, wall, tally.since(before), os.getpid()
 
@@ -106,6 +108,7 @@ def run_tasks(
     interrupt re-raises, leaving the sweep cleanly resumable.
     """
     started = time.perf_counter()  # repro: allow(wall-clock)
+    spans_before = obs.mark()
     policy = policy or SupervisionPolicy()
     metrics = RunMetrics(
         jobs=max(1, jobs),
@@ -206,6 +209,10 @@ def run_tasks(
             if (t.experiment, t.shard) in records
         ]
         metrics.wall_s = time.perf_counter() - started  # repro: allow(wall-clock)
+        if obs.enabled():
+            # Per-stage timing rollup of every span this run produced
+            # (workers' spans were absorbed as their tasks settled).
+            metrics.stages = obs.aggregate_stages(obs.since(spans_before))
 
     try:
         if pending:

@@ -18,7 +18,9 @@ from pathlib import Path
 
 # v2: per-task "status"/"attempts"/"failure" fields and the run-level
 # "quarantined" count (fault-tolerant supervised executor).
-METRICS_SCHEMA_VERSION = 2
+# v3: run-level "stages" — per-span-name timing/counter rollups from the
+# observability layer (populated when tracing is enabled, else {}).
+METRICS_SCHEMA_VERSION = 3
 
 STATUS_OK = "ok"
 STATUS_QUARANTINED = "quarantined"
@@ -60,6 +62,9 @@ class RunMetrics:
     fingerprint: str
     wall_s: float = 0.0
     tasks: list[TaskMetrics] = field(default_factory=list)
+    # Per-stage rollup from repro.obs (span name -> count / wall_s /
+    # counters / per_sec); empty unless tracing was enabled for the run.
+    stages: dict[str, dict] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -110,6 +115,7 @@ class RunMetrics:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "quarantined": self.quarantined,
+            "stages": {name: dict(stage) for name, stage in self.stages.items()},
             "tasks": [t.to_json() for t in self.tasks],
         }
 

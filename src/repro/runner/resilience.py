@@ -29,6 +29,12 @@ inline, so the integrity check exercises one code path everywhere, and
 a :class:`~repro.faults.FaultPlan` can damage the payload after the
 digest is computed to prove the check works.
 
+Observability spans (:mod:`repro.obs`) ride the same channel: a pooled
+attempt ships the span records it accumulated alongside its result
+payload, and the supervisor absorbs them only when the attempt settles
+successfully; a failed *inline* attempt's spans are rolled back before
+the retry.  Either way a retried task's spans appear exactly once.
+
 Determinism: a retried attempt reruns the same pure function with the
 same arguments, so retries never change results — ``jobs=N`` with
 faults injected stays byte-identical to a fault-free ``jobs=1`` run
@@ -47,6 +53,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.faults import (
     FaultPlan,
     InjectedCrash,
@@ -157,9 +164,10 @@ def _attempt_in_worker(fn: Callable, item: Any, fault: str | None,
                        conn) -> None:
     """Child-process entry point: run one attempt, report over the pipe.
 
-    The message is either ``("ok", digest, payload, pid)`` or
-    ``("error", type_name, message, traceback, pid)``; a crash sends
-    nothing at all, which the supervisor reads as EOF.
+    The message is either ``("ok", digest, payload, pid, spans)`` —
+    where ``spans`` are the :mod:`repro.obs` records this attempt
+    produced — or ``("error", type_name, message, traceback, pid)``; a
+    crash sends nothing at all, which the supervisor reads as EOF.
     """
     pid = os.getpid()
     try:
@@ -169,9 +177,10 @@ def _attempt_in_worker(fn: Callable, item: Any, fault: str | None,
             time.sleep(_HANG_SLEEP_S)  # the watchdog kills us first
         if fault == "raise":
             raise InjectedFault(f"injected fault in worker {pid}")
+        spans_before = obs.mark()
         result = fn(item)
         digest, payload = _package_result(result, fault)
-        conn.send(("ok", digest, payload, pid))
+        conn.send(("ok", digest, payload, pid, obs.since(spans_before)))
     except BaseException as exc:  # repro: allow(broad-except) — reported to the supervisor, which retries or quarantines
         try:
             conn.send(("error", type(exc).__name__, str(exc),
@@ -225,34 +234,36 @@ def _attempt_inline(fn: Callable, item: Any, label: str, fault: str | None,
             attempts=attempts, worker=pid,
         )
     digest, payload = _package_result(result, fault)
-    return ("ok", digest, payload, pid), None
+    # Inline spans are already in this process's record list, so the
+    # message carries none; _run_inline rolls them back on failure.
+    return ("ok", digest, payload, pid, []), None
 
 
 def _verify(message: tuple, label: str,
-            attempts: int) -> tuple[Any, TaskFailure | None]:
-    """Turn a worker message into ``(result, failure)``, checking the
-    integrity digest against the bytes that actually arrived."""
+            attempts: int) -> tuple[Any, TaskFailure | None, list]:
+    """Turn a worker message into ``(result, failure, spans)``, checking
+    the integrity digest against the bytes that actually arrived."""
     if message[0] == "error":
         _, error_type, text, tb, pid = message
         return None, TaskFailure(
             label=label, kind="exception", error_type=error_type,
             message=text, traceback=tb, attempts=attempts, worker=pid,
-        )
-    _, digest, payload, pid = message
+        ), []
+    _, digest, payload, pid, spans = message
     if hashlib.sha256(payload).hexdigest() != digest:
         return None, TaskFailure(
             label=label, kind="corrupt", error_type="CorruptResult",
             message="result payload does not match its integrity digest",
             attempts=attempts, worker=pid,
-        )
+        ), []
     try:
-        return pickle.loads(payload), None
+        return pickle.loads(payload), None, spans
     except Exception as exc:  # repro: allow(broad-except) — undecodable payload is quarantined as corrupt
         return None, TaskFailure(
             label=label, kind="corrupt", error_type=type(exc).__name__,
             message=f"result payload failed to unpickle: {exc}",
             attempts=attempts, worker=pid,
-        )
+        ), []
 
 
 # ---------------------------------------------------------------------------
@@ -355,12 +366,17 @@ def _run_inline(fn, slots, policy, faults, settle) -> None:
         while True:
             slot.attempts += 1
             fault = faults.fault_for(slot.label, slot.attempts) if faults else None
+            spans_before = obs.mark()
             message, failure = _attempt_inline(
                 fn, slot.item, slot.label, fault, slot.attempts
             )
             result = None
             if failure is None and message is not None:
-                result, failure = _verify(message, slot.label, slot.attempts)
+                result, failure, _ = _verify(message, slot.label, slot.attempts)
+            if failure is not None:
+                # Erase the failed attempt's spans so a retry (or the
+                # quarantine) never reports its work twice.
+                obs.rollback(spans_before)
             if settle(slot, result, failure):
                 break
             pause = slot.ready_at - time.monotonic()  # repro: allow(wall-clock) — backoff pacing
@@ -422,8 +438,13 @@ def _run_pooled(fn, slots, jobs, policy, faults, settle) -> None:
                 worker=entry.process.pid or 0,
             ))
             return
-        result, failure = _verify(message, entry.slot.label,
-                                  entry.slot.attempts)
+        result, failure, spans = _verify(message, entry.slot.label,
+                                         entry.slot.attempts)
+        if failure is None and spans:
+            # A successful attempt never retries, so absorbing here
+            # counts each task's spans exactly once; failed or crashed
+            # attempts' spans die with their worker process.
+            obs.absorb(spans)
         settle_running(entry, result, failure)
 
     def expire(entry: _Running) -> None:

@@ -22,6 +22,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
+from repro.common import tally
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng, split_rng
 from repro.trace.code import CodeProfile, CodeWalker
@@ -84,16 +86,24 @@ class SpecProxy:
 
     def instruction_trace(self, length: int, seed: int = 0) -> ReferenceTrace:
         """A dynamic instruction-fetch address stream."""
-        rng = split_rng(make_rng(seed), self.name, "code")
-        return CodeWalker(self.code).generate(length, rng)
+        with obs.span(f"trace/gen/{self.name}/code"):
+            rng = split_rng(make_rng(seed), self.name, "code")
+            trace = CodeWalker(self.code).generate(length, rng)
+            tally.add("trace_refs", len(trace))
+        return trace
 
     def data_trace(self, length: int, seed: int = 0) -> ReferenceTrace:
         """A data-reference stream (loads and stores flagged)."""
-        rng = split_rng(make_rng(seed), self.name, "data")
-        trace = self.data_builder(length, rng)
-        if len(trace) == 0:
-            raise ConfigError(f"{self.name}: data builder produced an empty trace")
-        return trace.take(length)
+        with obs.span(f"trace/gen/{self.name}/data"):
+            rng = split_rng(make_rng(seed), self.name, "data")
+            trace = self.data_builder(length, rng)
+            if len(trace) == 0:
+                raise ConfigError(
+                    f"{self.name}: data builder produced an empty trace"
+                )
+            trace = trace.take(length)
+            tally.add("trace_refs", len(trace))
+        return trace
 
     # -- base CPI -----------------------------------------------------------
 

@@ -2,6 +2,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.__main__ import main
 from repro.runner import METRICS_SCHEMA_VERSION
 
@@ -94,6 +95,76 @@ class TestCLI:
     def test_docs_rejects_partial_selection(self, capsys):
         assert main(["docs", "--only", "table1"]) == 2
         assert "docs" in capsys.readouterr().err
+
+
+class TestCLIObservability:
+    @pytest.fixture(autouse=True)
+    def reset_tracing(self):
+        # --trace/--perf-summary enable the process-global tracer; leave
+        # it the way other tests expect it.
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_trace_emits_chrome_trace_for_every_layer(
+            self, capsys, cache_dir, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        assert main([
+            "section5.6", "--trace-len", "8000", "--no-cache",
+            "--trace", str(trace_out),
+        ]) == 0
+        assert "trace written" in capsys.readouterr().err
+        doc = json.loads(trace_out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert set(event) >= {"name", "cat", "ts", "pid", "tid"}
+        cats = {event["cat"] for event in events}
+        # Every modeling layer this experiment exercises shows up.
+        assert {"task", "gspn", "cache", "trace"} <= cats
+        depths = {e["name"]: e for e in events}
+        assert any(n.startswith("gspn/run/") for n in depths)
+        assert any(n.startswith("task/section5.6/") for n in depths)
+
+    def test_perf_summary_written_and_parseable(
+            self, capsys, cache_dir, tmp_path):
+        bench_out = tmp_path / "bench.json"
+        assert main([
+            "section5.6", "--trace-len", "8000", "--no-cache",
+            "--perf-summary", str(bench_out),
+        ]) == 0
+        assert "perf summary" in capsys.readouterr().err
+        bench = json.loads(bench_out.read_text())
+        assert bench["schema"] == 1
+        assert bench["kind"] == "bench"
+        assert bench["events"] > 0
+        assert bench["events_per_sec"] > 0
+        assert bench["stages"]
+        for stage in bench["stages"].values():
+            assert stage["count"] >= 1
+            assert stage["wall_s"] >= 0
+
+    def test_metrics_include_stages_when_tracing(
+            self, capsys, cache_dir, tmp_path):
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "trace.json"
+        assert main([
+            "section5.6", "--trace-len", "8000", "--no-cache",
+            "--trace", str(trace_out), "--metrics-out", str(metrics_out),
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(metrics_out.read_text())
+        assert data["schema"] == METRICS_SCHEMA_VERSION
+        assert any(name.startswith("task/section5.6/")
+                   for name in data["stages"])
+
+    def test_no_tracing_means_no_stages(self, capsys, cache_dir, tmp_path):
+        metrics_out = tmp_path / "metrics.json"
+        assert main(["table1", "--metrics-out", str(metrics_out)]) == 0
+        capsys.readouterr()
+        assert json.loads(metrics_out.read_text())["stages"] == {}
 
 
 class TestCLIFaultTolerance:

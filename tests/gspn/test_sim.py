@@ -49,6 +49,19 @@ class TestDeterministicTiming:
         with pytest.raises(SimulationError):
             sim.run(stop_transition="nope", stop_count=1)
 
+    def test_stop_count_zero_rejected(self):
+        # The default stop_count=0 with a stop_transition used to return
+        # immediately (0 firings >= 0 is already true) and masquerade as a
+        # completed run; it is now a hard error.
+        sim = GSPNSimulator(_ring_net(), make_rng(0))
+        with pytest.raises(SimulationError, match="stop_count"):
+            sim.run(stop_transition="t0")
+
+    def test_stop_count_negative_rejected(self):
+        sim = GSPNSimulator(_ring_net(), make_rng(0))
+        with pytest.raises(SimulationError, match="stop_count"):
+            sim.run(stop_transition="t0", stop_count=-3)
+
 
 class TestImmediateSemantics:
     def test_immediates_fire_in_zero_time(self):
@@ -171,3 +184,26 @@ class TestStatsAndInvariants:
         sim = GSPNSimulator(_ring_net(2, delay=1.0), make_rng(0))
         result = sim.run(stop_transition="t0", stop_count=50)
         assert result.throughput("t0") == pytest.approx(0.5, rel=0.05)
+
+    def test_second_run_reports_window_not_lifetime_means(self):
+        # Deterministic two-place cycle: A -(5)-> B -(15)-> A, tracking B.
+        # T_ab fires at t=5 (token enters B), T_ba at t=20 (leaves B),
+        # T_ab again at t=25.  First run stops after the first T_ab, so
+        # its window [0, 5] never sees a token in B (mean 0).  The second
+        # run's window [5, 25] has B occupied on [5, 20): exactly 15 of
+        # 20 cycles, mean 0.75.  The historical bug divided the lifetime
+        # area by the lifetime clock and would report 15/25 = 0.6 here.
+        net = PetriNet("cycle")
+        net.place("A", 1)
+        net.place("B")
+        net.deterministic("T_ab", {"A": 1}, {"B": 1}, delay=5.0)
+        net.deterministic("T_ba", {"B": 1}, {"A": 1}, delay=15.0)
+        sim = GSPNSimulator(net, make_rng(0), track_places=("B",))
+        first = sim.run(stop_transition="T_ab", stop_count=1)
+        assert first.time == pytest.approx(5.0)
+        assert first.mean_marking["B"] == pytest.approx(0.0)
+        second = sim.run(stop_transition="T_ab", stop_count=2)
+        assert second.time == pytest.approx(25.0)
+        assert second.mean_marking["B"] == pytest.approx(0.75)
+        # Lifetime firing counts keep accumulating across calls.
+        assert second.firings["T_ab"] == 2

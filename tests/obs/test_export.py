@@ -1,0 +1,106 @@
+"""Span exporters: Chrome trace-event JSON and the perf summary."""
+
+import json
+
+from repro.obs import (
+    EVENT_COUNTERS,
+    PERF_SUMMARY_SCHEMA_VERSION,
+    SpanRecord,
+    aggregate_stages,
+    chrome_trace,
+    default_bench_path,
+    perf_summary,
+    write_chrome_trace,
+    write_perf_summary,
+)
+
+
+def _records():
+    return [
+        SpanRecord("task/figure9", 1_000_000, 4_000_000, 42, 0,
+                   {"gspn_firings": 800}),
+        SpanRecord("gspn/run/membank", 1_500_000, 3_000_000, 42, 1,
+                   {"gspn_firings": 800}),
+        SpanRecord("cache/run/SetAssociativeCache", 9_000_000, 1_000_000,
+                   43, 0, {"cache_refs": 5000}),
+    ]
+
+
+class TestChromeTrace:
+    def test_event_structure(self):
+        doc = chrome_trace(_records())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid"}
+        by_name = {e["name"]: e for e in events}
+        gspn = by_name["gspn/run/membank"]
+        assert gspn["cat"] == "gspn"
+        assert gspn["ts"] == 1500.0  # ns -> microseconds
+        assert gspn["dur"] == 3000.0
+        assert gspn["pid"] == gspn["tid"] == 42
+        assert gspn["args"] == {"gspn_firings": 800}
+
+    def test_sorted_by_pid_then_time(self):
+        doc = chrome_trace(list(reversed(_records())))
+        keys = [(e["pid"], e["ts"]) for e in doc["traceEvents"]]
+        assert keys == sorted(keys)
+
+    def test_write_roundtrip(self, tmp_path):
+        out = tmp_path / "deep" / "trace.json"
+        write_chrome_trace(out, _records())
+        loaded = json.loads(out.read_text())
+        assert len(loaded["traceEvents"]) == 3
+
+
+class TestAggregateStages:
+    def test_groups_by_name_and_sums(self):
+        records = _records() + [
+            SpanRecord("gspn/run/membank", 20_000_000, 1_000_000, 43, 0,
+                       {"gspn_firings": 200}),
+        ]
+        stages = aggregate_stages(records)
+        membank = stages["gspn/run/membank"]
+        assert membank["count"] == 2
+        assert membank["wall_s"] == (3_000_000 + 1_000_000) / 1e9
+        assert membank["counters"]["gspn_firings"] == 1000
+        assert membank["per_sec"]["gspn_firings"] == 1000 / 0.004
+
+    def test_zero_duration_stage_has_zero_rate(self):
+        stages = aggregate_stages(
+            [SpanRecord("instant", 0, 0, 1, 0, {"cache_refs": 5})]
+        )
+        assert stages["instant"]["per_sec"]["cache_refs"] == 0.0
+
+
+class TestPerfSummary:
+    def test_counts_depth_zero_events_only(self):
+        # The nested gspn span re-reports its parent task span's tally
+        # delta; counting every depth would double it.
+        summary = perf_summary(
+            _records(), fingerprint="cafe" * 10, jobs=2, wall_s=2.0
+        )
+        assert summary["schema"] == PERF_SUMMARY_SCHEMA_VERSION
+        assert summary["kind"] == "bench"
+        assert summary["events"] == 800 + 5000
+        assert summary["events_per_sec"] == (800 + 5000) / 2.0
+        assert summary["spans"] == 3
+        assert "gspn/run/membank" in summary["stages"]
+
+    def test_event_counters_cover_all_layers(self):
+        assert set(EVENT_COUNTERS) == {
+            "gspn_firings", "mp_ops", "cache_refs", "trace_refs"
+        }
+
+    def test_default_bench_path_uses_fingerprint_prefix(self, tmp_path):
+        path = default_bench_path("abcdef0123456789", root=tmp_path)
+        assert path == tmp_path / "BENCH_abcdef012345.json"
+
+    def test_write_roundtrip(self, tmp_path):
+        summary = perf_summary(_records(), fingerprint="f" * 40, jobs=1,
+                               wall_s=1.0)
+        out = tmp_path / "bench" / "BENCH_x.json"
+        write_perf_summary(out, summary)
+        assert json.loads(out.read_text())["events"] == 5800

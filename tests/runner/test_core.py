@@ -2,10 +2,15 @@
 
 import json
 
+import pytest
+
+from repro import obs
 from repro.common import tally
+from repro.faults import FaultPlan
 from repro.runner import (
     METRICS_SCHEMA_VERSION,
     ResultCache,
+    SupervisionPolicy,
     Task,
     run_tasks,
 )
@@ -86,3 +91,76 @@ class TestMetricsJSON:
         assert "demo" in text
         assert "jobs=1" in text
         assert "utilization" in text
+
+
+class TestSpanCollection:
+    """Tracing across the executor: every settled task contributes its
+    spans exactly once, whatever mix of workers, retries, and crashes."""
+
+    @pytest.fixture(autouse=True)
+    def tracing(self):
+        obs.enable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def _task_spans(self):
+        return sorted(
+            r.name for r in obs.records() if r.name.startswith("task/")
+        )
+
+    def test_stages_populated_when_tracing(self):
+        _, metrics = run_tasks(_tasks(), jobs=1)
+        assert set(metrics.stages) == {
+            f"task/demo/{n}" for n in (1, 2, 3, 4)
+        }
+        stage = metrics.stages["task/demo/2"]
+        assert stage["count"] == 1
+        assert stage["counters"]["gspn_firings"] == 20
+        assert metrics.to_json()["stages"]["task/demo/2"]["count"] == 1
+
+    def test_stages_empty_when_disabled(self):
+        obs.disable()
+        _, metrics = run_tasks(_tasks(), jobs=1)
+        assert metrics.stages == {}
+        assert metrics.to_json()["stages"] == {}
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_pool_workers_ship_spans_back(self, jobs):
+        _, metrics = run_tasks(_tasks(), jobs=jobs)
+        assert self._task_spans() == [
+            "task/demo/1", "task/demo/2", "task/demo/3", "task/demo/4"
+        ]
+        assert metrics.stages["task/demo/3"]["counters"]["gspn_firings"] == 30
+
+    def test_crashed_attempt_spans_are_not_double_counted(self):
+        # demo/2's first pooled attempt crashes; its spans die with the
+        # worker, and only the successful retry's spans come back.
+        faults = FaultPlan.parse(["demo/2=crash:1"])
+        _, metrics = run_tasks(
+            _tasks(), jobs=2, faults=faults,
+            policy=SupervisionPolicy(max_retries=1),
+        )
+        assert metrics.quarantined == 0
+        assert self._task_spans() == [
+            "task/demo/1", "task/demo/2", "task/demo/3", "task/demo/4"
+        ]
+        assert metrics.stages["task/demo/2"]["count"] == 1
+        assert metrics.stages["task/demo/2"]["counters"]["gspn_firings"] == 20
+
+    def test_failed_inline_attempt_spans_roll_back(self):
+        # Inline execution (jobs=1) shares the supervisor's record list;
+        # a corrupt first attempt's spans must be erased before the
+        # retry, or the stage would count the task twice.
+        faults = FaultPlan.parse(["demo/3=corrupt:1"])
+        _, metrics = run_tasks(
+            _tasks(), jobs=1, faults=faults,
+            policy=SupervisionPolicy(max_retries=1),
+        )
+        assert metrics.quarantined == 0
+        assert self._task_spans() == [
+            "task/demo/1", "task/demo/2", "task/demo/3", "task/demo/4"
+        ]
+        assert metrics.stages["task/demo/3"]["count"] == 1
+        assert metrics.stages["task/demo/3"]["counters"]["gspn_firings"] == 30

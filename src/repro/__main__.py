@@ -321,9 +321,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
 
     if tracing:
+        from repro.obs import export as obs_export
+
         records = obs.since(spans_before)
         if args.trace is not None:
-            obs.write_chrome_trace(args.trace, records)
+            obs_export.write_chrome_trace(args.trace, records)
             print(f"trace written to {args.trace} "
                   f"({len(records)} spans)", file=sys.stderr)
         if args.perf_summary is not None:
@@ -332,15 +334,15 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.runner import code_fingerprint
 
                 fingerprint = code_fingerprint()
-            summary = obs.perf_summary(
+            summary = obs_export.perf_summary(
                 records,
                 fingerprint=fingerprint,
                 jobs=args.jobs,
                 wall_s=metrics.wall_s,
             )
             bench_path = (Path(args.perf_summary) if args.perf_summary
-                          else obs.default_bench_path(fingerprint))
-            obs.write_perf_summary(bench_path, summary)
+                          else obs_export.default_bench_path(fingerprint))
+            obs_export.write_perf_summary(bench_path, summary)
             print(f"perf summary written to {bench_path}", file=sys.stderr)
 
     if metrics.quarantined:

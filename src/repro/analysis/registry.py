@@ -148,6 +148,16 @@ class ExperimentSpec:
     def merge_results(self, parts: list[Any]) -> Any:
         return self.merge(parts)
 
+    @property
+    def entry_point(self) -> str:
+        """Dotted name of this experiment's function, for static analysis.
+
+        The ``deps`` check pass resolves it in the call graph, and
+        :func:`repro.runner.fingerprint.slice_fingerprint` hashes the
+        module slice reachable from it.
+        """
+        return f"{self.fn.__module__}.{self.fn.__qualname__}"
+
 
 def _splash_shard(value: str) -> str:
     return value
@@ -285,6 +295,11 @@ _register(ExperimentSpec(
 
 # CLI flag -> experiment kwarg it maps onto.
 CLI_KNOBS = {"procs": "proc_counts", "trace_len": "trace_len"}
+
+
+def entry_points() -> dict[str, str]:
+    """Experiment name -> dotted entry-point function name."""
+    return {name: spec.entry_point for name, spec in SPECS.items()}
 
 
 def docs_table() -> str:

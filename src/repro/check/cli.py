@@ -1,7 +1,8 @@
 """``python -m repro check`` — run the static verification suite.
 
-    python -m repro check                    # all three passes
+    python -m repro check                    # all four passes
     python -m repro check --only protocol
+    python -m repro check --only deps --format json
     python -m repro check --skip lints --format json
 
 Exit status: 0 if no pass reported an error finding, 1 otherwise, 2 on
@@ -14,17 +15,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.check.deps import check_deps
 from repro.check.gspn import check_gspn_models
 from repro.check.lints import lint_paths
 from repro.check.protocol import check_protocol
 from repro.check.report import CheckReport
 
-PASS_NAMES: tuple[str, ...] = ("protocol", "gspn", "lints")
+PASS_NAMES: tuple[str, ...] = ("protocol", "gspn", "lints", "deps")
 
 _RUNNERS = {
     "protocol": check_protocol,
     "gspn": check_gspn_models,
     "lints": lint_paths,
+    "deps": check_deps,
 }
 
 
@@ -61,8 +64,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro check",
         description="Static verification: coherence-protocol model "
-                    "checking, GSPN structural analysis, and "
-                    "simulation-discipline lints.",
+                    "checking, GSPN structural analysis, "
+                    "simulation-discipline lints, and whole-program "
+                    "dependency/seed-flow analysis.",
     )
     parser.add_argument(
         "--only",

@@ -27,7 +27,14 @@ reject the ways that assumption quietly breaks:
 
 A finding on a line containing ``# repro: allow(<rule>[, <rule>...])``
 is suppressed — the suppression is part of the reviewed source, so every
-exemption is deliberate and visible in diffs.
+exemption is deliberate and visible in diffs.  The suppressions are
+themselves checked: naming a rule no pass defines (``allow(wall-clok)``
+guards nothing) is an ``unknown-suppression`` warning, and a lint-rule
+suppression on a line where that rule finds nothing is an
+``unused-suppression`` warning, so stale exemptions cannot linger after
+the code they excused is gone.  The rule namespace spans this pass and
+the ``deps`` pass (:data:`repro.check.deps.DEPS_RULES`), whose findings
+honour the same comments.
 """
 
 from __future__ import annotations
@@ -48,6 +55,16 @@ LINT_RULES: tuple[str, ...] = (
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
 
+# Diagnostics about the suppression comments themselves.
+META_RULES: tuple[str, ...] = ("unknown-suppression", "unused-suppression")
+
+
+def _known_rules() -> frozenset[str]:
+    """Every rule an allow-comment may legitimately name."""
+    from repro.check.deps import DEPS_RULES  # deps imports us; keep lazy
+
+    return frozenset(LINT_RULES) | frozenset(DEPS_RULES) | frozenset(META_RULES)
+
 # numpy.random attributes that are *not* module-level state.
 _NP_RANDOM_OK = {"Generator", "default_rng", "SeedSequence", "BitGenerator",
                  "PCG64", "RandomState"}  # RandomState as a *type* reference
@@ -64,14 +81,24 @@ _REPORTING_CALLS = {"log", "debug", "info", "warning", "warn", "error",
                     "format_exc", "print_exc"}
 
 
+_RULE_TOKEN_RE = re.compile(r"[a-z][a-z0-9-]*\Z")
+
+
 def _suppressions(source: str) -> dict[int, set[str]]:
-    """line number -> rules allowed on that line."""
+    """line number -> rules allowed on that line.
+
+    Only well-formed rule tokens (kebab-case identifiers) register, so
+    prose *about* the syntax — ``allow(<rule>)`` in a docstring — is
+    neither a suppression nor an unknown-suppression warning.
+    """
     allowed: dict[int, set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _ALLOW_RE.search(line)
         if match:
             rules = {part.strip() for part in match.group(1).split(",")}
-            allowed[lineno] = {rule for rule in rules if rule}
+            rules = {rule for rule in rules if _RULE_TOKEN_RE.match(rule)}
+            if rules:
+                allowed[lineno] = rules
     return allowed
 
 
@@ -282,6 +309,28 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
         findings.append(
             Finding("lints", rule, "error", f"{path}:{lineno}", message)
         )
+    known = _known_rules()
+    flagged = {(lineno, rule) for lineno, rule, _ in linter.findings}
+    for lineno in sorted(allowed):
+        for rule in sorted(allowed[lineno]):
+            if rule not in known:
+                findings.append(Finding(
+                    "lints", "unknown-suppression", "warning",
+                    f"{path}:{lineno}",
+                    f"allow({rule}) names no known rule — it guards "
+                    f"nothing (known rules: "
+                    f"{', '.join(sorted(known - set(META_RULES)))})",
+                ))
+            elif rule in LINT_RULES and (lineno, rule) not in flagged:
+                # Deps-pass rules are judged by the deps pass (they
+                # suppress interprocedural findings this linter cannot
+                # see), so only lint rules can be called unused here.
+                findings.append(Finding(
+                    "lints", "unused-suppression", "warning",
+                    f"{path}:{lineno}",
+                    f"allow({rule}) suppresses nothing on this line; "
+                    f"the code it excused is gone — remove the comment",
+                ))
     return findings
 
 

@@ -17,8 +17,19 @@ GHZ = 1e9
 
 
 def cycles_for_time(seconds: float, clock_hz: float) -> int:
-    """Round a wall-clock duration up to whole clock cycles."""
+    """Round a wall-clock duration up to whole clock cycles.
+
+    A product that lands within floating-point noise of an integer
+    (``2e-9 * 1e9 == 2.0000000000000004``) *is* that integer — naive
+    ``ceil`` would charge a whole spurious cycle for the representation
+    error, skewing every latency built from decimal nanoseconds.  The
+    tolerance is relative (a few ulps), so genuinely fractional cycle
+    counts still round up.
+    """
     cycles = seconds * clock_hz
+    nearest = round(cycles)
+    if nearest and abs(cycles - nearest) <= 4e-16 * abs(nearest):
+        return nearest
     whole = int(cycles)
     if cycles > whole:
         whole += 1

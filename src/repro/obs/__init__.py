@@ -4,13 +4,19 @@ The package-wide tracing layer behind ``python -m repro <experiment>
 --trace out.json`` and ``--perf-summary``:
 
 - :mod:`repro.obs.spans` — the tracer itself: ``span()`` context
-  managers with monotonic timing, nesting, counter attachment, and
-  automatic :mod:`repro.common.tally` delta capture.  Off by default;
-  the disabled path is a shared no-op object, cheap enough to leave in
-  every hot entry point.
+  managers with monotonic timing, nesting, counter attachment,
+  automatic :mod:`repro.common.tally` delta capture, and the in-memory
+  :func:`aggregate_stages` rollup the run metrics embed.  Off by
+  default; the disabled path is a shared no-op object, cheap enough to
+  leave in every hot entry point.
 - :mod:`repro.obs.export` — the Chrome trace-event JSON exporter
   (loadable in Perfetto) and the per-run ``BENCH_<fingerprint>.json``
-  perf summary.
+  perf summary.  **Not re-exported here**: this ``__init__`` executes
+  inside every simulator import (``from repro import obs`` in the hot
+  paths), so it stays inside every experiment's fingerprint slice —
+  re-exporting the file writers would put ``export.py`` in every slice
+  too and an exporter tweak would invalidate every cached result.  The
+  CLI and tests import :mod:`repro.obs.export` directly.
 
 All four modeling layers are instrumented at their run() granularity:
 trace generation (``trace/gen/*``), trace-driven cache sweeps
@@ -21,22 +27,12 @@ executor's verified result messages and are absorbed by the parent, so
 ``--jobs N`` traces are as complete as inline ones.
 """
 
-from repro.obs.export import (
-    DEFAULT_BENCH_DIR,
-    EVENT_COUNTERS,
-    PERF_SUMMARY_SCHEMA_VERSION,
-    aggregate_stages,
-    chrome_trace,
-    default_bench_path,
-    perf_summary,
-    write_chrome_trace,
-    write_perf_summary,
-)
 from repro.obs.spans import (
     ENV_FLAG,
     SpanRecord,
     absorb,
     add,
+    aggregate_stages,
     disable,
     enable,
     enabled,
@@ -49,26 +45,18 @@ from repro.obs.spans import (
 )
 
 __all__ = [
-    "DEFAULT_BENCH_DIR",
     "ENV_FLAG",
-    "EVENT_COUNTERS",
-    "PERF_SUMMARY_SCHEMA_VERSION",
     "SpanRecord",
     "absorb",
     "add",
     "aggregate_stages",
-    "chrome_trace",
-    "default_bench_path",
     "disable",
     "enable",
     "enabled",
     "mark",
-    "perf_summary",
     "records",
     "reset",
     "rollback",
     "since",
     "span",
-    "write_chrome_trace",
-    "write_perf_summary",
 ]

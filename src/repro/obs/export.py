@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.obs.spans import SpanRecord
+from repro.obs.spans import SpanRecord, aggregate_stages
 
 PERF_SUMMARY_SCHEMA_VERSION = 1
 
@@ -54,31 +54,6 @@ def write_chrome_trace(path: Path | str, records: list[SpanRecord]) -> None:
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(chrome_trace(records), indent=1) + "\n")
-
-
-def aggregate_stages(records: list[SpanRecord]) -> dict[str, dict]:
-    """Per-stage rollup: spans grouped by name.
-
-    Each stage reports how many spans it covered, their total wall
-    seconds, the summed counters, and per-second rates for every
-    counter (0 when the stage took no measurable time).
-    """
-    stages: dict[str, dict] = {}
-    for record in records:
-        stage = stages.setdefault(record.name, {
-            "count": 0, "wall_s": 0.0, "counters": {},
-        })
-        stage["count"] += 1
-        stage["wall_s"] += record.dur_ns / 1e9
-        for name, value in record.counters.items():
-            stage["counters"][name] = stage["counters"].get(name, 0) + value
-    for stage in stages.values():
-        wall = stage["wall_s"]
-        stage["per_sec"] = {
-            name: (value / wall if wall > 0 else 0.0)
-            for name, value in sorted(stage["counters"].items())
-        }
-    return stages
 
 
 def perf_summary(

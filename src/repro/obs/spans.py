@@ -192,3 +192,30 @@ def reset() -> None:
     """Clear all records and any (leaked) open-span state."""
     _records.clear()
     _stack.clear()
+
+
+def aggregate_stages(records: list[SpanRecord]) -> dict[str, dict]:
+    """Per-stage rollup: spans grouped by name.
+
+    Each stage reports how many spans it covered, their total wall
+    seconds, the summed counters, and per-second rates for every
+    counter (0 when the stage took no measurable time).  Lives here —
+    not with the exporters — because the runner folds it into the run
+    metrics whether or not anything is written to disk.
+    """
+    stages: dict[str, dict] = {}
+    for record in records:
+        stage = stages.setdefault(record.name, {
+            "count": 0, "wall_s": 0.0, "counters": {},
+        })
+        stage["count"] += 1
+        stage["wall_s"] += record.dur_ns / 1e9
+        for name, value in record.counters.items():
+            stage["counters"][name] = stage["counters"].get(name, 0) + value
+    for stage in stages.values():
+        wall = stage["wall_s"]
+        stage["per_sec"] = {
+            name: (value / wall if wall > 0 else 0.0)
+            for name, value in sorted(stage["counters"].items())
+        }
+    return stages

@@ -2,11 +2,14 @@
 
 The pieces, each usable on its own:
 
-- :mod:`repro.runner.fingerprint` — SHA-256 over the package sources;
-  any code change invalidates every cached result.
+- :mod:`repro.runner.fingerprint` — SHA-256 code fingerprints: the
+  whole-package hash, and per-experiment *dependency slices* (computed
+  from the static import graph of :mod:`repro.check.callgraph`) that
+  keep cached results valid across edits to unrelated modules.
 - :mod:`repro.runner.cache` — content-addressed on-disk store keyed by
-  ``(call id, kwargs, code fingerprint)``; damaged entries are
-  quarantined (``*.corrupt``), never re-read.
+  ``(call id, kwargs, code fingerprint)``, using the slice fingerprint
+  when it is provably sound and the whole-tree hash otherwise; damaged
+  entries are quarantined (``*.corrupt``), never re-read.
 - :mod:`repro.runner.resilience` — the supervised executor: per-task
   timeouts with a watchdog, bounded deterministic retries, crash and
   corrupt-result detection, failure quarantine, ``fail_fast``.
@@ -35,7 +38,12 @@ from repro.runner.cache import (
     default_cache_dir,
 )
 from repro.runner.core import Task, run_tasks
-from repro.runner.fingerprint import code_fingerprint
+from repro.runner.fingerprint import (
+    SliceFingerprint,
+    code_fingerprint,
+    invalidate,
+    slice_fingerprint,
+)
 from repro.runner.journal import RunJournal
 from repro.runner.metrics import METRICS_SCHEMA_VERSION, RunMetrics, TaskMetrics
 from repro.runner.resilience import (
@@ -55,6 +63,7 @@ __all__ = [
     "ResultCache",
     "RunJournal",
     "RunMetrics",
+    "SliceFingerprint",
     "SupervisionPolicy",
     "Task",
     "TaskFailure",
@@ -65,7 +74,9 @@ __all__ = [
     "canonical_kwargs",
     "code_fingerprint",
     "default_cache_dir",
+    "invalidate",
     "run_tasks",
+    "slice_fingerprint",
     "supervised_call",
     "supervised_map",
 ]

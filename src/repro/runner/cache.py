@@ -2,9 +2,19 @@
 
 Keys combine the call identity (experiment/shard or function qualname),
 the canonicalized keyword arguments (which include every seed and size
-parameter), and the :func:`~repro.runner.fingerprint.code_fingerprint`
-of the package, so a cached entry can only ever be returned for the
-exact computation that produced it.
+parameter), and a code fingerprint, so a cached entry can only ever be
+returned for the exact computation that produced it.
+
+The fingerprint component is per-entry-point: when the caller supplies
+the experiment's registered entry point, the key uses
+:func:`~repro.runner.fingerprint.slice_fingerprint` — a digest over
+only the modules the entry point can transitively import — so editing
+a module outside that slice (an exporter, a check pass, an unrelated
+model family) leaves the entry valid.  Whenever the slice cannot be
+established soundly (no entry point given, entry outside the package,
+a dynamic import anywhere in the slice), the key falls back to the
+whole-tree :func:`~repro.runner.fingerprint.code_fingerprint`, which
+is the old always-safe behaviour.
 
 Layout under the cache root (default ``.repro-cache``, overridable with
 ``$REPRO_CACHE_DIR`` or ``--cache-dir``)::
@@ -48,20 +58,57 @@ class CacheEntry:
 
 
 class ResultCache:
-    """Pickle store addressed by ``(call id, kwargs, code fingerprint)``."""
+    """Pickle store addressed by ``(call id, kwargs, code fingerprint)``.
+
+    ``fingerprint`` pins the whole-tree digest (computed when omitted);
+    ``slicing`` enables per-entry-point slice keying (see module
+    docstring) and ``package_root`` points the slicer at a package
+    directory other than the installed ``repro`` (used by tests).
+    """
 
     def __init__(self, root: Path | str | None = None,
-                 fingerprint: str | None = None) -> None:
+                 fingerprint: str | None = None, *,
+                 slicing: bool = True,
+                 package_root: Path | None = None) -> None:
         from repro.runner.fingerprint import code_fingerprint
 
         self.root = Path(root) if root is not None else default_cache_dir()
-        self.fingerprint = fingerprint or code_fingerprint()
+        self.package_root = package_root
+        self.fingerprint = fingerprint or code_fingerprint(package_root)
+        self.slicing = slicing
+        self._slices: dict[str, tuple[str, str]] = {}
 
-    def key(self, call_id: str, kwargs: dict[str, Any]) -> str:
+    def fingerprint_for(self, entry: str | None) -> tuple[str, str]:
+        """``(digest, kind)`` keying entries for ``entry``.
+
+        ``kind`` is ``"slice"`` when the digest covers only the entry
+        point's dependency slice, ``"tree"`` when it is the whole-tree
+        fingerprint (no entry point, slicing off, or the slice degraded
+        — see :func:`~repro.runner.fingerprint.slice_fingerprint`).
+        Degradation always lands on ``self.fingerprint`` so explicitly
+        pinned fingerprints keep working.
+        """
+        if not self.slicing or entry is None:
+            return self.fingerprint, "tree"
+        if entry not in self._slices:
+            from repro.runner.fingerprint import slice_fingerprint
+
+            try:
+                sliced = slice_fingerprint(entry, root=self.package_root)
+            except Exception:  # repro: allow(broad-except) — never let the slicer break caching; fall back to the safe whole-tree key
+                sliced = None
+            if sliced is not None and sliced.kind == "slice":
+                self._slices[entry] = (sliced.digest, "slice")
+            else:
+                self._slices[entry] = (self.fingerprint, "tree")
+        return self._slices[entry]
+
+    def key(self, call_id: str, kwargs: dict[str, Any],
+            entry: str | None = None) -> str:
         import hashlib
 
-        payload = "\x1f".join([call_id, canonical_kwargs(kwargs),
-                               self.fingerprint])
+        digest, _ = self.fingerprint_for(entry)
+        payload = "\x1f".join([call_id, canonical_kwargs(kwargs), digest])
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _paths(self, key: str) -> tuple[Path, Path]:
@@ -124,18 +171,21 @@ def cached_call(fn: Callable, kwargs: dict[str, Any],
 
     if cache is None:
         return fn(*args, **kwargs)
+    call_id = call_id_for(fn)
     call_kwargs = {"*args": list(args), **kwargs} if args else kwargs
-    key = cache.key(call_id_for(fn), call_kwargs)
+    key = cache.key(call_id, call_kwargs, entry=call_id)
     entry = cache.load(key)
     if entry is not None:
         return entry.result
     before = tally.snapshot()
     started = time.perf_counter()  # repro: allow(wall-clock)
     result = fn(*args, **kwargs)
+    digest, kind = cache.fingerprint_for(call_id)
     cache.store(key, result, {
-        "call_id": call_id_for(fn),
+        "call_id": call_id,
         "kwargs": canonical_kwargs(call_kwargs),
-        "fingerprint": cache.fingerprint,
+        "fingerprint": digest,
+        "fingerprint_kind": kind,
         "wall_s": time.perf_counter() - started,  # repro: allow(wall-clock)
         "tallies": tally.since(before),
     })

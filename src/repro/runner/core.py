@@ -67,6 +67,19 @@ class Task:
     def call_id(self) -> str:
         return f"experiment:{self.label}"
 
+    def entry_point(self) -> str | None:
+        """Dotted name of ``fn`` for fingerprint slicing, or None.
+
+        None (e.g. for a partial or a closure, which have no useful
+        static identity) makes the cache fall back to the whole-tree
+        fingerprint.
+        """
+        module = getattr(self.fn, "__module__", None)
+        qualname = getattr(self.fn, "__qualname__", None)
+        if not module or not qualname or "<" in qualname:
+            return None
+        return f"{module}.{qualname}"
+
 
 def _execute(task: Task) -> tuple[Any, float, dict[str, int], int]:
     """Worker entry point: run one task, measure wall time and tallies."""
@@ -125,7 +138,9 @@ def run_tasks(
     for task in tasks:
         slot = (task.experiment, task.shard)
         if cache is not None:
-            key = cache.key(task.call_id(), task.kwargs)
+            digest, kind = cache.fingerprint_for(task.entry_point())
+            key = cache.key(task.call_id(), task.kwargs,
+                            entry=task.entry_point())
             t0 = time.perf_counter()  # repro: allow(wall-clock)
             entry = cache.load(key)
             if entry is not None:
@@ -139,6 +154,7 @@ def run_tasks(
                     worker=os.getpid(),
                     tallies=dict(entry.meta.get("tallies", {})),
                     key=key,
+                    fingerprint_kind=kind,
                 )
                 if journal is not None and not resumed:
                     journal.record(task.label, status=STATUS_DONE, key=key)
@@ -150,12 +166,16 @@ def run_tasks(
                     attempts: int = 1) -> None:
         slot = (task.experiment, task.shard)
         key = ""
+        kind = ""
         if cache is not None:
-            key = cache.key(task.call_id(), task.kwargs)
+            digest, kind = cache.fingerprint_for(task.entry_point())
+            key = cache.key(task.call_id(), task.kwargs,
+                            entry=task.entry_point())
             cache.store(key, result, {
                 "call_id": task.call_id(),
                 "kwargs": canonical_kwargs(task.kwargs),
-                "fingerprint": cache.fingerprint,
+                "fingerprint": digest,
+                "fingerprint_kind": kind,
                 "wall_s": wall,
                 "tallies": tallies,
             })
@@ -169,6 +189,7 @@ def run_tasks(
             tallies=tallies,
             key=key,
             attempts=attempts,
+            fingerprint_kind=kind,
         )
         if journal is not None:
             journal.record(task.label, status=STATUS_DONE, key=key,
@@ -176,7 +197,8 @@ def run_tasks(
 
     def record_quarantine(task: Task, outcome: TaskOutcome) -> None:
         slot = (task.experiment, task.shard)
-        key = cache.key(task.call_id(), task.kwargs) if cache else ""
+        key = cache.key(task.call_id(), task.kwargs,
+                        entry=task.entry_point()) if cache else ""
         failure = outcome.failure
         assert failure is not None
         records[slot] = TaskMetrics(

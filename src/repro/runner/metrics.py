@@ -20,7 +20,10 @@ from pathlib import Path
 # "quarantined" count (fault-tolerant supervised executor).
 # v3: run-level "stages" — per-span-name timing/counter rollups from the
 # observability layer (populated when tracing is enabled, else {}).
-METRICS_SCHEMA_VERSION = 3
+# v4: per-task "fingerprint_kind" — which code fingerprint keyed the
+# task's cache entry: "slice" (per-entry-point dependency slice) or
+# "tree" (whole-package hash); "" when the run had no cache.
+METRICS_SCHEMA_VERSION = 4
 
 STATUS_OK = "ok"
 STATUS_QUARANTINED = "quarantined"
@@ -38,6 +41,7 @@ class TaskMetrics:
     status: str = STATUS_OK  # "ok" | "quarantined"
     attempts: int = 1
     failure: dict | None = None  # TaskFailure.to_json() when quarantined
+    fingerprint_kind: str = ""  # "slice" | "tree" | "" (no cache)
 
     def to_json(self) -> dict:
         payload = {
@@ -50,6 +54,7 @@ class TaskMetrics:
             "key": self.key,
             "status": self.status,
             "attempts": self.attempts,
+            "fingerprint_kind": self.fingerprint_kind,
         }
         if self.failure is not None:
             payload["failure"] = dict(self.failure)

@@ -181,7 +181,7 @@ def _attempt_in_worker(fn: Callable, item: Any, fault: str | None,
         result = fn(item)
         digest, payload = _package_result(result, fault)
         conn.send(("ok", digest, payload, pid, obs.since(spans_before)))
-    except BaseException as exc:  # repro: allow(broad-except) — reported to the supervisor, which retries or quarantines
+    except BaseException as exc:  # reported to the supervisor, which retries or quarantines
         try:
             conn.send(("error", type(exc).__name__, str(exc),
                        traceback.format_exc(), pid))
@@ -227,7 +227,7 @@ def _attempt_inline(fn: Callable, item: Any, label: str, fault: str | None,
         result = fn(item)
     except KeyboardInterrupt:
         raise  # the caller flushes its journal and re-raises
-    except BaseException as exc:  # repro: allow(broad-except) — converted to a TaskFailure for retry/quarantine
+    except BaseException as exc:  # converted to a TaskFailure for retry/quarantine
         return None, TaskFailure(
             label=label, kind="exception", error_type=type(exc).__name__,
             message=str(exc), traceback=traceback.format_exc(),
@@ -495,7 +495,7 @@ def _run_pooled(fn, slots, jobs, policy, faults, settle) -> None:
             for conn in [c for c, e in running.items()
                          if e.deadline is not None and e.deadline <= now]:
                 expire(running.pop(conn))
-    except BaseException:  # repro: allow(broad-except) — kill orphan workers, then re-raise (includes KeyboardInterrupt)
+    except BaseException:  # kill orphan workers, then re-raise (includes KeyboardInterrupt)
         for entry in running.values():
             _terminate(entry.process)
             entry.conn.close()

@@ -195,10 +195,12 @@ class TestSuppression:
         """) == []
 
     def test_allow_of_other_rule_does_not_suppress(self):
+        # The finding survives, and the misdirected suppression is
+        # itself reported as unused.
         assert rules_of("""
             import time
             t = time.time()  # repro: allow(float-eq)
-        """) == ["wall-clock"]
+        """) == ["wall-clock", "unused-suppression"]
 
     def test_allow_accepts_rule_list(self):
         assert rules_of("""
@@ -210,7 +212,55 @@ class TestSuppression:
         assert rules_of("""
             import time  # repro: allow(wall-clock)
             t = time.time()
-        """) == ["wall-clock"]
+        """) == ["wall-clock", "unused-suppression"]
+
+
+class TestSuppressionValidation:
+    def test_unknown_rule_is_warned(self):
+        findings = lint_source(
+            "import time\nt = time.time()  # repro: allow(wall-clok)\n"
+        )
+        rules = [f.rule for f in findings]
+        # The typo'd suppression guards nothing: the real finding
+        # surfaces AND the bogus comment is called out.
+        assert "wall-clock" in rules
+        assert "unknown-suppression" in rules
+        unknown = next(f for f in findings if f.rule == "unknown-suppression")
+        assert unknown.severity == "warning"
+        assert "wall-clok" in unknown.message
+        assert unknown.location.endswith(":2")
+
+    def test_deps_rules_are_known(self):
+        # The allow() namespace spans the deps pass: suppressing one of
+        # its interprocedural rules is not "unknown" here.
+        findings = lint_source(
+            "_REGISTRY = {}  # repro: allow(mutable-global)\n"
+        )
+        assert findings == []
+
+    def test_unused_lint_suppression_is_warned(self):
+        findings = lint_source("x = 1  # repro: allow(wall-clock)\n")
+        assert [f.rule for f in findings] == ["unused-suppression"]
+        assert findings[0].severity == "warning"
+        assert "wall-clock" in findings[0].message
+
+    def test_used_suppression_is_not_warned(self):
+        findings = lint_source(
+            "import time\nt = time.time()  # repro: allow(wall-clock)\n"
+        )
+        assert findings == []
+
+    def test_deps_suppression_is_never_called_unused(self):
+        # This linter cannot see deps findings, so it must not judge
+        # deps-rule suppressions as unused.
+        findings = lint_source("x = []  # repro: allow(untracked-input)\n")
+        assert findings == []
+
+    def test_doc_prose_about_the_syntax_is_ignored(self):
+        findings = lint_source(
+            '"""Suppress with ``# repro: allow(<rule>)`` comments."""\n'
+        )
+        assert findings == []
 
 
 class TestLintPaths:

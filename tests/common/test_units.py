@@ -33,6 +33,40 @@ class TestCyclesForTime:
     def test_zero(self):
         assert cycles_for_time(0.0, 200e6) == 0
 
+    def test_float_noise_is_not_a_cycle(self):
+        # 3.0 * 1e-9 scaled by a 1 GHz clock multiplies out to
+        # 3.0000000000000004; the representation error must not be
+        # billed as a fourth cycle.
+        seconds = 3.0 * 1e-9
+        assert seconds * 1e9 > 3  # the raw product really is off
+        assert cycles_for_time(seconds, 1e9) == 3
+
+    def test_roundtrip_is_exact_for_whole_cycles(self):
+        # time_for_cycles then cycles_for_time must be the identity for
+        # every clock, even when the division/multiplication pair lands
+        # a hair off the integer (naive ceil gets 18 of these wrong).
+        for hz in (33e6, 200e6, 333e6, 1e9, 2e9):
+            for cycles in (1, 3, 6, 7, 100, 199):
+                assert cycles_for_time(time_for_cycles(cycles, hz), hz) \
+                    == cycles
+
+    def test_decimal_nanoseconds_across_clocks(self):
+        # Every paper latency is a decimal ns figure; none may drift.
+        for ns, hz, expect in [(30, 200e6, 6), (10, 1e9, 10),
+                               (60, 200e6, 12), (7, 1e9, 7),
+                               (2.5, 2e9, 5)]:
+            assert cycles_for_time(ns * 1e-9, hz) == expect
+
+    def test_genuine_fraction_still_rounds_up(self):
+        assert cycles_for_time(31e-9, 200e6) == 7  # 6.2 cycles
+        assert cycles_for_time(1.5e-9, 1e9) == 2   # 1.5 cycles
+        assert cycles_for_time(1.001e-9, 1e9) == 2  # barely over 1
+
+    def test_tiny_duration_rounds_up_to_one(self):
+        # Far below one cycle but nonzero: still costs a cycle, and the
+        # relative-epsilon path must not snap it to 0.
+        assert cycles_for_time(1e-15, 1e6) == 1
+
     def test_roundtrip(self):
         assert time_for_cycles(6, 200e6) == pytest.approx(30e-9)
 

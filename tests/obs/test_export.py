@@ -2,17 +2,16 @@
 
 import json
 
-from repro.obs import (
+from repro.obs.export import (
     EVENT_COUNTERS,
     PERF_SUMMARY_SCHEMA_VERSION,
-    SpanRecord,
-    aggregate_stages,
     chrome_trace,
     default_bench_path,
     perf_summary,
     write_chrome_trace,
     write_perf_summary,
 )
+from repro.obs.spans import SpanRecord, aggregate_stages
 
 
 def _records():

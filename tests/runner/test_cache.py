@@ -1,7 +1,9 @@
 """Result cache: hit/miss semantics, key sensitivity, quarantine."""
 
+import textwrap
+
 from repro.common import tally
-from repro.runner import ResultCache, cached_call
+from repro.runner import ResultCache, cached_call, code_fingerprint
 
 
 def _cache(tmp_path, fingerprint="f" * 64):
@@ -86,6 +88,98 @@ class TestResultCache:
         assert cache.load(key) is None
         assert not pkl.exists() and not meta.exists()
         assert pkl.with_suffix(".pkl.corrupt").exists()
+
+
+def _sliceable(tmp_path):
+    """A tiny package: entry.py -> model.py, exporter.py outside."""
+    root = tmp_path / "spkg"
+    root.mkdir()
+    (root / "__init__.py").touch()
+    (root / "entry.py").write_text(textwrap.dedent("""
+        from spkg.model import simulate
+
+        def experiment():
+            return simulate()
+    """))
+    (root / "model.py").write_text("def simulate():\n    return 42\n")
+    (root / "exporter.py").write_text("FORMAT = 'json'\n")
+    return root
+
+
+class TestSliceKeying:
+    def test_no_entry_point_uses_tree_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache",
+                            package_root=_sliceable(tmp_path))
+        assert cache.fingerprint_for(None) == (cache.fingerprint, "tree")
+
+    def test_entry_point_gets_slice_kind(self, tmp_path):
+        root = _sliceable(tmp_path)
+        cache = ResultCache(tmp_path / "cache", package_root=root)
+        digest, kind = cache.fingerprint_for("spkg.entry.experiment")
+        assert kind == "slice"
+        assert digest != cache.fingerprint
+
+    def test_edit_outside_slice_keeps_key(self, tmp_path):
+        root = _sliceable(tmp_path)
+        cache = ResultCache(tmp_path / "cache", package_root=root)
+        key = cache.key("experiment:demo", {"n": 3},
+                        entry="spkg.entry.experiment")
+        (root / "exporter.py").write_text("FORMAT = 'csv'\n")
+        fresh = ResultCache(tmp_path / "cache", package_root=root)
+        assert fresh.fingerprint != cache.fingerprint  # tree hash moved
+        assert fresh.key("experiment:demo", {"n": 3},
+                         entry="spkg.entry.experiment") == key
+
+    def test_edit_inside_slice_changes_key(self, tmp_path):
+        root = _sliceable(tmp_path)
+        cache = ResultCache(tmp_path / "cache", package_root=root)
+        key = cache.key("experiment:demo", {"n": 3},
+                        entry="spkg.entry.experiment")
+        (root / "model.py").write_text("def simulate():\n    return 43\n")
+        fresh = ResultCache(tmp_path / "cache", package_root=root)
+        assert fresh.key("experiment:demo", {"n": 3},
+                         entry="spkg.entry.experiment") != key
+
+    def test_degraded_slice_lands_on_pinned_fingerprint(self, tmp_path):
+        # A dynamic import degrades the slice; the key must fall back to
+        # the cache's own (here explicitly pinned) tree fingerprint, not
+        # some recomputed digest the pinning caller never saw.
+        root = _sliceable(tmp_path)
+        (root / "model.py").write_text(
+            "import importlib\n"
+            "def simulate():\n"
+            "    return importlib.import_module('json')\n"
+        )
+        cache = ResultCache(tmp_path / "cache", fingerprint="f" * 64,
+                            package_root=root)
+        assert cache.fingerprint_for("spkg.entry.experiment") == \
+            ("f" * 64, "tree")
+
+    def test_slicing_disabled_always_uses_tree(self, tmp_path):
+        root = _sliceable(tmp_path)
+        cache = ResultCache(tmp_path / "cache", slicing=False,
+                            package_root=root)
+        assert cache.fingerprint_for("spkg.entry.experiment") == \
+            (cache.fingerprint, "tree")
+
+    def test_slice_lookup_is_memoized(self, tmp_path):
+        root = _sliceable(tmp_path)
+        cache = ResultCache(tmp_path / "cache", package_root=root)
+        first = cache.fingerprint_for("spkg.entry.experiment")
+        assert cache._slices["spkg.entry.experiment"] == first
+        assert cache.fingerprint_for("spkg.entry.experiment") is \
+            cache._slices["spkg.entry.experiment"]
+
+    def test_real_registry_entry_slices(self, tmp_path):
+        # The shipped tree: registry entry points key by slice, and an
+        # unsliceable test-module entry degrades to the tree digest.
+        cache = ResultCache(tmp_path / "cache")
+        digest, kind = cache.fingerprint_for(
+            "repro.analysis.experiments.table1")
+        assert kind == "slice"
+        assert digest != code_fingerprint()
+        assert cache.fingerprint_for("tests.runner.test_cache._double") == \
+            (cache.fingerprint, "tree")
 
 
 def _double(x=0):

@@ -79,9 +79,10 @@ class TestMetricsJSON:
         for task in data["tasks"]:
             assert set(task) == {
                 "experiment", "shard", "cache", "wall_s", "worker",
-                "tallies", "key", "status", "attempts",
+                "tallies", "key", "status", "attempts", "fingerprint_kind",
             }
             assert task["cache"] in ("hit", "miss", "off", "resumed")
+            assert task["fingerprint_kind"] in ("slice", "tree")
             assert task["status"] == "ok" and task["attempts"] == 1
             assert task["tallies"] == {"gspn_firings": 10 * int(task["shard"])}
 

@@ -1,8 +1,9 @@
-"""Code fingerprinting: stability and invalidation."""
+"""Code fingerprinting: stability, invalidation, dependency slices."""
 
+import textwrap
 from pathlib import Path
 
-from repro.runner import code_fingerprint
+from repro.runner import code_fingerprint, invalidate, slice_fingerprint
 
 
 def _tree(tmp_path: Path) -> Path:
@@ -10,6 +11,22 @@ def _tree(tmp_path: Path) -> Path:
     (root / "sub").mkdir(parents=True)
     (root / "a.py").write_text("A = 1\n")
     (root / "sub" / "b.py").write_text("B = 2\n")
+    return root
+
+
+def _sliceable(tmp_path: Path) -> Path:
+    """A package whose entry slice excludes exporter.py."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").touch()
+    (root / "entry.py").write_text(textwrap.dedent("""
+        from pkg.model import simulate
+
+        def experiment():
+            return simulate()
+    """))
+    (root / "model.py").write_text("def simulate():\n    return 42\n")
+    (root / "exporter.py").write_text("FORMAT = 'json'\n")
     return root
 
 
@@ -50,6 +67,107 @@ class TestCodeFingerprint:
     def test_package_default(self):
         # Fingerprinting the installed package works and is cached.
         assert code_fingerprint() == code_fingerprint()
+
+    def test_memo_notices_midprocess_edit(self, tmp_path):
+        # Regression: the old memo was keyed by root alone, so a file
+        # edited after the first call kept serving the stale digest for
+        # the life of the process.  The stat-summary key must miss.
+        root = _tree(tmp_path)
+        before = code_fingerprint(root)  # memoized
+        (root / "a.py").write_text("A = 1  # edited, longer line\n")
+        assert code_fingerprint(root) != before
+
+    def test_invalidate_clears_the_memo(self, tmp_path):
+        root = _tree(tmp_path)
+        first = code_fingerprint(root)
+        invalidate(root)
+        assert code_fingerprint(root) == first  # recomputed, same tree
+        invalidate()  # all-roots form is accepted too
+        assert code_fingerprint(root) == first
+
+
+class TestSliceFingerprint:
+    def test_clean_entry_yields_slice_kind(self, tmp_path):
+        root = _sliceable(tmp_path)
+        sliced = slice_fingerprint("pkg.entry.experiment", root)
+        assert sliced.kind == "slice"
+        assert sliced.reason == ""
+        assert set(sliced.modules) == {"pkg", "pkg.entry", "pkg.model"}
+        assert len(sliced.digest) == 64
+
+    def test_edit_outside_slice_keeps_digest(self, tmp_path):
+        root = _sliceable(tmp_path)
+        before = slice_fingerprint("pkg.entry.experiment", root)
+        tree_before = code_fingerprint(root)
+        (root / "exporter.py").write_text("FORMAT = 'csv'  # changed\n")
+        after = slice_fingerprint("pkg.entry.experiment", root)
+        assert after.digest == before.digest
+        # ... while the whole-tree hash does move.
+        assert code_fingerprint(root) != tree_before
+
+    def test_edit_inside_slice_changes_digest(self, tmp_path):
+        root = _sliceable(tmp_path)
+        before = slice_fingerprint("pkg.entry.experiment", root)
+        (root / "model.py").write_text("def simulate():\n    return 43\n")
+        after = slice_fingerprint("pkg.entry.experiment", root)
+        assert after.kind == "slice"
+        assert after.digest != before.digest
+
+    def test_dynamic_import_degrades_to_tree(self, tmp_path):
+        root = _sliceable(tmp_path)
+        (root / "model.py").write_text(
+            "import importlib\n"
+            "def simulate():\n"
+            "    return importlib.import_module('json')\n"
+        )
+        sliced = slice_fingerprint("pkg.entry.experiment", root)
+        assert sliced.kind == "tree"
+        assert "dynamic import" in sliced.reason
+        assert sliced.digest == code_fingerprint(root)
+        assert sliced.modules == ()
+
+    def test_entry_outside_package_degrades_to_tree(self, tmp_path):
+        root = _sliceable(tmp_path)
+        sliced = slice_fingerprint("tests.something.fn", root)
+        assert sliced.kind == "tree"
+        assert "outside package" in sliced.reason
+        assert sliced.digest == code_fingerprint(root)
+
+    def test_unknown_entry_module_degrades_to_tree(self, tmp_path):
+        root = _sliceable(tmp_path)
+        sliced = slice_fingerprint("pkg.ghost.fn", root)
+        assert sliced.kind == "tree"
+        assert sliced.digest == code_fingerprint(root)
+
+    def test_real_experiment_slices_exclude_exporters_and_checks(self):
+        # The headline behaviour: obs/export.py and the check passes are
+        # outside every experiment's slice, so editing them cannot
+        # invalidate cached GSPN results.
+        sliced = slice_fingerprint("repro.analysis.experiments.table1")
+        assert sliced.kind == "slice", sliced.reason
+        assert "repro.analysis.experiments" in sliced.modules
+        assert "repro.obs.export" not in sliced.modules
+        assert "repro.check.gspn" not in sliced.modules
+        assert "repro.check.deps" not in sliced.modules
+        assert "repro.__main__" not in sliced.modules
+
+
+class TestSlicerSalt:
+    def test_slicer_change_would_invalidate_slices(self, tmp_path):
+        # The slicer hashes itself (callgraph.py + fingerprint.py) into
+        # every slice: digests computed by a buggy slicer must die with
+        # the bug.  Simulate with a synthetic tree carrying those files.
+        root = _sliceable(tmp_path)
+        (root / "check").mkdir()
+        (root / "check" / "__init__.py").touch()
+        (root / "check" / "callgraph.py").write_text("VERSION = 1\n")
+        before = slice_fingerprint("pkg.entry.experiment", root)
+        (root / "check" / "callgraph.py").write_text("VERSION = 2\n")
+        after = slice_fingerprint("pkg.entry.experiment", root)
+        assert before.kind == after.kind == "slice"
+        # pkg.check is not imported by the entry, yet the digest moved.
+        assert "pkg.check.callgraph" not in before.modules
+        assert after.digest != before.digest
 
 
 class TestCheckoutScripts:

@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Fail when EXPERIMENTS.md drifts from the experiment artifacts.
+"""Fail when a generated document drifts from its checked-in artifacts.
 
-Regenerates EXPERIMENTS.md in memory from the checked-in
-``artifacts/experiments.json`` and diffs it against the checked-in
-document.  Run directly::
+Two documents are mechanical projections of checked-in JSON and must
+never be edited by hand:
+
+- ``EXPERIMENTS.md`` <- ``artifacts/experiments.json``
+- ``SWEEPS.md``      <- ``artifacts/sweeps/*.json`` (plus a spec-digest
+  cross-check: a report whose paired ``.toml`` spec was edited after the
+  sweep ran is also a failure)
+
+Regenerates each in memory and diffs against the checked-in document.
+Run directly::
 
     python scripts/check_docs.py
 
-or via the tier-1 suite (``tests/analysis/test_docs.py`` wraps the same
-check).  To fix a reported drift::
+or via the tier-1 suite (``tests/analysis/test_docs.py`` and
+``tests/sweep/test_report.py`` wrap the same checks).  To fix a
+reported drift::
 
-    python -m repro docs --jobs 4
-
-which re-runs the experiments (instantly, if cached), refreshes the
-artifacts, and rewrites the document.
+    python -m repro docs --jobs 4          # EXPERIMENTS.md
+    python -m repro sweep run <name>       # refresh a sweep artifact
+    python -m repro sweep report           # rewrite SWEEPS.md
 """
 
 from __future__ import annotations
@@ -25,19 +32,32 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def main() -> int:
-    from repro.analysis.docs import check_drift
-
-    drift = check_drift(REPO_ROOT)
+def _report(name: str, source: str, drift: list[str], fix: str) -> int:
     if not drift:
-        print("EXPERIMENTS.md is in sync with artifacts/experiments.json")
+        print(f"{name} is in sync with {source}")
         return 0
-    print("EXPERIMENTS.md has drifted from artifacts/experiments.json:")
+    print(f"{name} has drifted from {source}:")
     print("\n".join(drift[:120]))
     if len(drift) > 120:
         print(f"... ({len(drift) - 120} more diff lines)")
-    print("\nregenerate with: python -m repro docs")
+    print(f"\nregenerate with: {fix}")
     return 1
+
+
+def main() -> int:
+    from repro.analysis.docs import check_drift
+    from repro.sweep.report import check_sweeps_drift
+
+    status = _report(
+        "EXPERIMENTS.md", "artifacts/experiments.json",
+        check_drift(REPO_ROOT), "python -m repro docs",
+    )
+    status |= _report(
+        "SWEEPS.md", "artifacts/sweeps/",
+        check_sweeps_drift(REPO_ROOT),
+        "python -m repro sweep run <name> && python -m repro sweep report",
+    )
+    return status
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@
     python -m repro docs                 # regenerate EXPERIMENTS.md
     python -m repro figures13-17 --procs 1,2,4
     python -m repro check                # static verification suite
+    python -m repro sweep run <name>     # design-space exploration
 
 Rendered tables go to **stdout** and are byte-identical for any
 ``--jobs`` value and cache state (fixed seeds, independent shards);
@@ -57,6 +58,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        # Design-space sweeps have their own verbs (run/report/list);
+        # hand off before the experiment parser sees them.
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -64,8 +71,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'docs', 'list', or "
-             "'check' (static verification; see 'check --help')",
+        help="experiment name (see 'list'), 'all', 'docs', 'list', "
+             "'check' (static verification; see 'check --help'), or "
+             "'sweep' (design-space exploration; see 'sweep --help')",
     )
     parser.add_argument(
         "--procs",

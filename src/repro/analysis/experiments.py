@@ -478,6 +478,12 @@ def splash_figure(
     ),
     **kernel_kwargs,
 ) -> SplashExperiment:
+    """One SPLASH kernel's execution time vs processor count, per system.
+
+    The per-kernel building block behind Figures 13-17: runs
+    ``kernel_name`` on every requested system kind at every processor
+    count and collects the simulated execution times for rendering.
+    """
     kernel_cls = KERNELS[kernel_name]
     times: dict[str, list[int]] = {kind.value: [] for kind in kinds}
     data_set = ""

@@ -24,6 +24,15 @@ reject the ways that assumption quietly breaks:
   how a quarantine-worthy fault turns into a wrong number; the
   supervised runner's intentionally-broad catch sites carry reviewed
   ``allow`` annotations.
+- ``doc-coverage`` — a public module (no path component starting with
+  ``_``) without a module docstring, or a registry-registered entry
+  point (experiment registry + sweep bases) without a function
+  docstring.  Entry points are the repo's public API surface — the
+  sweep compiler, the docs generator and the CLI all advertise them —
+  so they carry their contract in-source.  This rule only runs in the
+  default whole-tree scan (``lint_paths()`` with no roots); explicit
+  roots and :func:`lint_source` skip it unless asked, since fragments
+  and fixtures legitimately lack docs.
 
 A finding on a line containing ``# repro: allow(<rule>[, <rule>...])``
 is suppressed — the suppression is part of the reviewed source, so every
@@ -51,6 +60,7 @@ LINT_RULES: tuple[str, ...] = (
     "float-eq",
     "mutable-default",
     "broad-except",
+    "doc-coverage",
 )
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
@@ -294,13 +304,56 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one module's source text; suppressions already applied."""
+def _doc_findings(
+    tree: ast.Module,
+    require_module_doc: bool,
+    required_docs: frozenset[str],
+) -> list[tuple[int, str, str]]:
+    """doc-coverage findings for one parsed module."""
+    findings: list[tuple[int, str, str]] = []
+    if require_module_doc and ast.get_docstring(tree) is None:
+        findings.append((
+            1, "doc-coverage",
+            "public module has no docstring; state what it models and "
+            "which contract it keeps (or rename it _private)",
+        ))
+    if required_docs:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name in required_docs \
+                    and ast.get_docstring(node) is None:
+                findings.append((
+                    node.lineno, "doc-coverage",
+                    f"registered entry point {node.name}() has no "
+                    f"docstring; it is advertised by the registry/sweep "
+                    f"CLI and must carry its contract in-source",
+                ))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    require_module_doc: bool = False,
+    required_docs: frozenset[str] = frozenset(),
+) -> list[Finding]:
+    """Lint one module's source text; suppressions already applied.
+
+    ``doc-coverage`` is opt-in: ``require_module_doc`` demands a module
+    docstring and ``required_docs`` names the entry-point functions that
+    must carry one.  The default whole-tree scan turns both on for
+    public modules; fragments and explicit roots stay exempt.
+    """
     tree = ast.parse(source, filename=path)
     imports = _Imports()
     imports.visit(tree)
     linter = _Linter(path, imports)
     linter.visit(tree)
+    doc_checks_ran = require_module_doc or bool(required_docs)
+    linter.findings.extend(
+        _doc_findings(tree, require_module_doc, required_docs)
+    )
     allowed = _suppressions(source)
     findings = []
     for lineno, rule, message in sorted(linter.findings):
@@ -321,6 +374,10 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
                     f"nothing (known rules: "
                     f"{', '.join(sorted(known - set(META_RULES)))})",
                 ))
+            elif rule == "doc-coverage" and not doc_checks_ran:
+                # The rule did not run on this source, so its
+                # suppressions cannot be judged unused here.
+                continue
             elif rule in LINT_RULES and (lineno, rule) not in flagged:
                 # Deps-pass rules are judged by the deps pass (they
                 # suppress interprocedural findings this linter cannot
@@ -334,12 +391,43 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     return findings
 
 
+def _entry_point_docs() -> dict[str, frozenset[str]]:
+    """Dotted module -> entry-point function names that must be documented.
+
+    The union of the experiment registry's entry points and the sweep
+    bases' — everything a registry-style subsystem advertises by dotted
+    name.
+    """
+    from repro.analysis.registry import entry_points
+    from repro.sweep.points import base_entry_points
+
+    # Sweep bases reuse registry names (a base "figure7" rides the same
+    # pipeline as the experiment), so chain the dotted names rather than
+    # merging the dicts — a key collision must not drop an entry point.
+    required: dict[str, set[str]] = {}
+    for dotted in (*entry_points().values(), *base_entry_points().values()):
+        module, _, fn = dotted.rpartition(".")
+        required.setdefault(module, set()).add(fn)
+    return {module: frozenset(names) for module, names in required.items()}
+
+
 def lint_paths(roots: list[Path] | None = None) -> PassResult:
-    """Lint every ``*.py`` under the given roots (default: ``repro``)."""
+    """Lint every ``*.py`` under the given roots (default: ``repro``).
+
+    The default whole-tree scan additionally enforces ``doc-coverage``:
+    public modules need module docstrings and registry/sweep entry
+    points need function docstrings.  Explicit roots skip that rule —
+    fixtures and scratch files are not public API.
+    """
+    doc_coverage = roots is None
+    package_parent: Path | None = None
+    entry_docs: dict[str, frozenset[str]] = {}
     if roots is None:
         import repro
 
         roots = [Path(repro.__file__).parent]
+        package_parent = roots[0].parent
+        entry_docs = _entry_point_docs()
     result = PassResult("lints")
     files = 0
     for root in roots:
@@ -356,8 +444,23 @@ def lint_paths(roots: list[Path] | None = None) -> PassResult:
                     f"could not read: {exc}",
                 ))
                 continue
+            require_module_doc = False
+            required_docs: frozenset[str] = frozenset()
+            if doc_coverage and package_parent is not None:
+                rel = path.relative_to(package_parent).with_suffix("")
+                public = all(
+                    not part.startswith("_") for part in rel.parts[:-1]
+                ) and (rel.parts[-1] == "__init__"
+                       or not rel.parts[-1].startswith("_"))
+                require_module_doc = public
+                parts = [p for p in rel.parts if p != "__init__"]
+                required_docs = entry_docs.get(".".join(parts), frozenset())
             try:
-                result.findings.extend(lint_source(source, str(path)))
+                result.findings.extend(lint_source(
+                    source, str(path),
+                    require_module_doc=require_module_doc,
+                    required_docs=required_docs,
+                ))
             except SyntaxError as exc:
                 result.findings.append(Finding(
                     "lints", "syntax", "error", f"{path}:{exc.lineno}",

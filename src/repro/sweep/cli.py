@@ -1,0 +1,328 @@
+"""The ``python -m repro sweep`` command-line interface.
+
+    python -m repro sweep list                  # checked-in sweep specs
+    python -m repro sweep run fig7-line-bank    # expand, fan out, reduce
+    python -m repro sweep run path/to/spec.toml --jobs 4
+    python -m repro sweep report                # regenerate SWEEPS.md
+
+``run`` resolves its argument as a checked-in spec name under
+``artifacts/sweeps/`` or a direct path, validates it (every violation
+is a named ``SweepSpecError`` rule), executes the expanded grid through
+the same supervised pool as ``python -m repro <experiment>`` — so the
+full flag set (``--jobs``, ``--resume``, ``--inject``, ``--trace``,
+``--task-timeout``, ...) carries over — and writes the deterministic
+report artifact next to the spec.  ``report`` only rereads checked-in
+artifacts; it never recomputes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.faults import FaultPlan, FaultPlanError
+from repro.runner import (
+    FailFastError,
+    ResultCache,
+    RunJournal,
+    SupervisionPolicy,
+    default_cache_dir,
+)
+from repro.sweep.engine import run_sweep
+from repro.sweep.report import (
+    DEFAULT_SWEEPS_DOC,
+    build_sweep_artifact,
+    regenerate_doc,
+    report_path,
+    write_sweep_artifact,
+)
+from repro.sweep.spec import (
+    DEFAULT_SWEEPS_DIR,
+    SweepSpecError,
+    discover_specs,
+    load_spec,
+    resolve_spec,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Declarative design-space sweeps over the registry.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    verbs.add_parser(
+        "list", help="show the checked-in sweep specs under artifacts/sweeps/"
+    )
+
+    report = verbs.add_parser(
+        "report", help="regenerate SWEEPS.md from the checked-in artifacts"
+    )
+    report.add_argument(
+        "--out",
+        default=str(DEFAULT_SWEEPS_DOC),
+        metavar="PATH",
+        help="SWEEPS.md path (default SWEEPS.md)",
+    )
+
+    run = verbs.add_parser(
+        "run", help="expand a sweep spec and run every configuration"
+    )
+    run.add_argument(
+        "spec",
+        help="checked-in sweep name (see 'list') or a path to a "
+             "TOML/JSON spec file",
+    )
+    run.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=1,
+        help="worker processes for independent configurations (default 1)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every configuration, and do not store results",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro-cache, or "
+             "$REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write per-configuration run metrics (wall time, cache "
+             "status, fingerprint kind) as JSON",
+    )
+    run.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="sweep report artifact path "
+             "(default artifacts/sweeps/<name>.json)",
+    )
+    run.add_argument(
+        "--no-report",
+        action="store_true",
+        help="run and print the frontier without writing the artifact",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock limit; a stuck worker is killed, "
+             "replaced, and the configuration retried (default: no limit)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for a crashed/hung/failed configuration "
+             "before it is quarantined (default 1)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip configurations journaled as completed by an "
+             "interrupted run (requires the cache)",
+    )
+    run.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first quarantined configuration",
+    )
+    run.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="LABEL=KIND",
+        help="deterministic fault injection: fault configurations "
+             "matching LABEL (fnmatch over 'sweep:<base>/<label>') with "
+             "KIND (crash, hang, raise, corrupt); repeatable, also read "
+             "from $REPRO_INJECT",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a Chrome trace-event JSON "
+             "covering compile/run/reduce and every modeling layer",
+    )
+    run.add_argument(
+        "--perf-summary",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a per-run perf summary JSON",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    specs = discover_specs()
+    if not specs:
+        print(f"no sweep specs under {DEFAULT_SWEEPS_DIR}/", file=sys.stderr)
+        return 0
+    for path in specs:
+        try:
+            spec = load_spec(path)
+        except SweepSpecError as exc:
+            print(f"{path.stem:18s} INVALID [{exc.rule}]: {exc}")
+            continue
+        axes = "×".join(str(len(values)) for _, values in spec.axes)
+        print(f"{spec.name:18s} base={spec.base:12s} "
+              f"{len(spec.configs()):3d} configs ({axes})  {spec.description}")
+    return 0
+
+
+def _cmd_report(out: str) -> int:
+    reports = regenerate_doc(doc_path=out)
+    print(f"wrote {out} from {len(reports)} sweep artifact(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec_path = resolve_spec(args.spec)
+        spec = load_spec(spec_path)
+    except FileNotFoundError as exc:
+        print(f"sweep spec not found: {exc}", file=sys.stderr)
+        known = ", ".join(p.stem for p in discover_specs()) or "none"
+        print(f"checked-in specs: {known}", file=sys.stderr)
+        return 2
+    except SweepSpecError as exc:
+        print(f"invalid sweep spec [{exc.rule}]: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.resume and cache is None:
+        print("--resume needs the result cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    try:
+        faults = FaultPlan.parse(args.inject or []) if args.inject \
+            else FaultPlan()
+        faults = FaultPlan(faults.specs + FaultPlan.from_env().specs)
+    except FaultPlanError as exc:
+        print(f"bad --inject / $REPRO_INJECT: {exc}", file=sys.stderr)
+        return 2
+    try:
+        policy = SupervisionPolicy(
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            fail_fast=args.fail_fast,
+        )
+    except ValueError as exc:
+        print(f"bad supervision flags: {exc}", file=sys.stderr)
+        return 2
+    journal = RunJournal(cache.root, cache.fingerprint) if cache else None
+
+    tracing = args.trace is not None or args.perf_summary is not None
+    spans_before = 0
+    if tracing:
+        obs.enable()
+        spans_before = obs.mark()
+
+    def write_partial(partial) -> None:
+        if args.metrics_out:
+            partial.write(args.metrics_out)
+
+    configs = spec.configs()
+    print(f"sweep {spec.name}: {len(configs)} configurations of "
+          f"{spec.base} ({'×'.join(str(len(v)) for _, v in spec.axes)})",
+          file=sys.stderr)
+    try:
+        outcome, metrics = run_sweep(
+            spec, jobs=args.jobs, cache=cache, policy=policy,
+            faults=faults or None, journal=journal, resume=args.resume,
+            on_partial=write_partial,
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed configurations are journaled and "
+              "cached; rerun with --resume", file=sys.stderr)
+        return 130
+    except FailFastError as exc:
+        print(f"fail-fast: {exc}", file=sys.stderr)
+        return 1
+
+    hits = sum(1 for t in metrics.tasks if t.cache in ("hit", "resumed"))
+    print(f"[{spec.name}: {metrics.wall_s:.1f}s, "
+          f"{hits}/{len(metrics.tasks)} cached]", file=sys.stderr)
+    print(metrics.render(), file=sys.stderr)
+    if args.metrics_out:
+        metrics.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+
+    if tracing:
+        from repro.obs import export as obs_export
+        from repro.runner import code_fingerprint
+
+        records = obs.since(spans_before)
+        if args.trace is not None:
+            obs_export.write_chrome_trace(args.trace, records)
+            print(f"trace written to {args.trace} "
+                  f"({len(records)} spans)", file=sys.stderr)
+        if args.perf_summary is not None:
+            fingerprint = cache.fingerprint if cache \
+                else code_fingerprint()
+            summary = obs_export.perf_summary(
+                records, fingerprint=fingerprint, jobs=args.jobs,
+                wall_s=metrics.wall_s,
+            )
+            bench_path = (Path(args.perf_summary) if args.perf_summary
+                          else obs_export.default_bench_path(fingerprint))
+            obs_export.write_perf_summary(bench_path, summary)
+            print(f"perf summary written to {bench_path}", file=sys.stderr)
+
+    # The human-readable reduction goes to stdout, like rendered tables.
+    print(f"sweep {spec.name}: frontier {len(outcome.frontier)} of "
+          f"{len(outcome.configs)} configurations")
+    for result in outcome.configs:
+        shown = ", ".join(
+            f"{o.metric}={result.metrics[o.metric]:.4f}"
+            for o in spec.objectives
+        )
+        verdict = (f"dominated by {result.dominated_by}"
+                   if result.dominated else "frontier")
+        print(f"  {result.label:40s} {shown}  [{verdict}]")
+    for label in outcome.failed:
+        print(f"  {label:40s} quarantined — no metrics")
+
+    if not args.no_report:
+        artifact = build_sweep_artifact(outcome)
+        out = Path(args.report_out) if args.report_out \
+            else report_path(spec.name)
+        write_sweep_artifact(out, artifact)
+        print(f"report written to {out}", file=sys.stderr)
+
+    if outcome.failed:
+        print(f"sweep finished with {len(outcome.failed)} quarantined "
+              f"configuration(s); see the metrics for tracebacks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.verb == "list":
+        return _cmd_list()
+    if args.verb == "report":
+        return _cmd_report(args.out)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -263,6 +263,53 @@ class TestSuppressionValidation:
         assert findings == []
 
 
+class TestDocCoverage:
+    def test_off_by_default(self):
+        # Fragments (and every other fixture in this file) are not
+        # public API; the rule must not fire unless asked.
+        assert rules_of("x = 1\n") == []
+
+    def test_module_docstring_required_when_asked(self):
+        findings = lint_source("x = 1\n", require_module_doc=True)
+        assert [f.rule for f in findings] == ["doc-coverage"]
+        assert findings[0].location.endswith(":1")
+
+    def test_module_docstring_satisfies(self):
+        findings = lint_source('"""Documented."""\nx = 1\n',
+                               require_module_doc=True)
+        assert findings == []
+
+    def test_entry_point_docstring_required(self):
+        source = "def table9():\n    return 1\n"
+        findings = lint_source(source, required_docs=frozenset({"table9"}))
+        assert [f.rule for f in findings] == ["doc-coverage"]
+        assert "table9" in findings[0].message
+
+    def test_only_named_functions_are_required(self):
+        source = "def helper():\n    return 1\n"
+        assert lint_source(source,
+                           required_docs=frozenset({"table9"})) == []
+
+    def test_suppressible_like_any_rule(self):
+        source = "# repro: allow(doc-coverage)\nx = 1\n"
+        assert lint_source(source, require_module_doc=True) == []
+
+    def test_suppression_not_judged_unused_when_rule_off(self):
+        # Explicit-roots scans do not run doc-coverage, so they cannot
+        # call its suppressions stale.
+        source = '"""Doc."""  # repro: allow(doc-coverage)\nx = 1\n'
+        assert lint_source(source) == []
+
+    def test_default_scan_requires_entry_point_docs(self):
+        # Both registries contribute: the experiment entry points and
+        # the sweep bases (which deliberately reuse experiment names).
+        from repro.check.lints import _entry_point_docs
+
+        required = _entry_point_docs()
+        assert "splash_figure" in required["repro.analysis.experiments"]
+        assert "icache_point" in required["repro.sweep.points"]
+
+
 class TestLintPaths:
     def test_source_tree_is_clean(self):
         # The acceptance bar: the shipped simulator obeys its own

@@ -44,18 +44,18 @@ class CacheStats:
         return self.loads.misses + self.stores.misses
 
     @property
-    def miss_rate(self) -> float:
+    def miss_rate(self) -> float:  # repro: unit(fraction)
         total = self.accesses
         return self.misses / total if total else 0.0
 
     @property
-    def load_miss_rate(self) -> float:
+    def load_miss_rate(self) -> float:  # repro: unit(fraction)
         """Load misses as a fraction of *all* accesses (paper's stacking)."""
         total = self.accesses
         return self.loads.misses / total if total else 0.0
 
     @property
-    def store_miss_rate(self) -> float:
+    def store_miss_rate(self) -> float:  # repro: unit(fraction)
         """Store misses as a fraction of *all* accesses."""
         total = self.accesses
         return self.stores.misses / total if total else 0.0

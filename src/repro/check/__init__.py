@@ -1,6 +1,6 @@
 """repro.check: static verification of the paper's model layers.
 
-``python -m repro check`` runs four passes, each guarding a different
+``python -m repro check`` runs five passes, each guarding a different
 pillar of the evaluation *before* any simulation happens (and before a
 silent model bug can poison the content-addressed result cache):
 
@@ -32,6 +32,15 @@ silent model bug can poison the content-addressed result cache):
   untracked-input detection with call-chain witnesses, and the
   per-experiment dependency slices behind
   :func:`repro.runner.fingerprint.slice_fingerprint`.
+- ``units`` (:mod:`repro.check.units`, also on the call graph) —
+  static units-and-dimensions flow analysis: dims seeded from the
+  ``*_ns``/``*_bytes``/``*_cycles`` suffix convention and the explicit
+  annotation registry of :mod:`repro.check.dimensions` are propagated
+  through every function and across call boundaries; mixing units
+  (``ns + cycles``, ``bytes < lines``, a ``us`` value into a ``*_ns``
+  parameter, a seconds↔cycles boundary missing
+  ``cycles_for_time``/``time_for_cycles``) is an error with a
+  call-chain witness from a registered entry point.
 
 This ``__init__`` deliberately re-exports nothing: the runner's
 fingerprint slicer imports :mod:`repro.check.callgraph`, which executes

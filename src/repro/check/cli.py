@@ -1,8 +1,8 @@
 """``python -m repro check`` — run the static verification suite.
 
-    python -m repro check                    # all four passes
+    python -m repro check                    # all five passes
     python -m repro check --only protocol
-    python -m repro check --only deps --format json
+    python -m repro check --only units --format json
     python -m repro check --skip lints --format json
 
 Exit status: 0 if no pass reported an error finding, 1 otherwise, 2 on
@@ -20,14 +20,16 @@ from repro.check.gspn import check_gspn_models
 from repro.check.lints import lint_paths
 from repro.check.protocol import check_protocol
 from repro.check.report import CheckReport
+from repro.check.units import check_units
 
-PASS_NAMES: tuple[str, ...] = ("protocol", "gspn", "lints", "deps")
+PASS_NAMES: tuple[str, ...] = ("protocol", "gspn", "lints", "deps", "units")
 
 _RUNNERS = {
     "protocol": check_protocol,
     "gspn": check_gspn_models,
     "lints": lint_paths,
     "deps": check_deps,
+    "units": check_units,
 }
 
 
@@ -65,8 +67,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro check",
         description="Static verification: coherence-protocol model "
                     "checking, GSPN structural analysis, "
-                    "simulation-discipline lints, and whole-program "
-                    "dependency/seed-flow analysis.",
+                    "simulation-discipline lints, whole-program "
+                    "dependency/seed-flow analysis, and "
+                    "units-and-dimensions flow analysis.",
     )
     parser.add_argument(
         "--only",

@@ -363,10 +363,22 @@ class _DepsAnalysis:
 
 
 def registry_entry_points() -> dict[str, str]:
-    """The registered experiments' entry points, as static names."""
-    from repro.analysis.registry import entry_points
+    """All analysis roots, as static names: the registered experiments
+    plus the sweep base-point builders.
 
-    return entry_points()
+    Sweeps construct design points through :mod:`repro.sweep.points`
+    without going through the experiment registry, so without these
+    roots a stochastic call or unit mix on a sweep-only path would sit
+    in unreachable code and never earn a witness.  Sweep names are
+    prefixed ``sweep:`` — the bases reuse experiment names (``figure7``
+    both names an experiment and a base point)."""
+    from repro.analysis.registry import entry_points
+    from repro.sweep.points import base_entry_points
+
+    roots = entry_points()
+    for name, target in base_entry_points().items():
+        roots[f"sweep:{name}"] = target
+    return roots
 
 
 def check_deps(root: Path | None = None, package: str | None = None,

@@ -1,0 +1,270 @@
+"""The dimension lattice and annotation registry of the ``units`` pass.
+
+Every figure in the paper is built out of quantities with physical
+dimensions — latencies in nanoseconds vs. processor cycles, sizes in
+bytes vs. lines vs. banks, clock rates in hertz — and the repo encodes
+them only by *naming convention* (``latency_ns``, ``line_bytes``,
+``clock_hz``, bare ``seconds`` per :mod:`repro.common.units`'s header
+contract).  This module turns that convention into data the static
+analysis in :mod:`repro.check.units` can compute with:
+
+- a :class:`Dim` is ``(quantity, unit)`` — e.g. ``(time, ns)`` or
+  ``(size, lines)``.  Two dims *conflict* whenever their units differ:
+  unlike physics, the analysis tracks the **scale** too, because
+  ``ns + us`` corrupts a figure exactly as silently as ``ns + cycles``;
+- the **suffix convention** (:func:`suffix_dim`): ``*_ns``, ``*_us``,
+  ``*_bytes``, ``*_cycles``, ``*_hz``, ``*_fraction`` and friends seed
+  dims for parameters, locals, attributes and function returns;
+- the **annotation registry** (:data:`ANNOTATIONS`): explicit dims for
+  names that cannot carry a suffix — ``units.NS``-style scale
+  constants, computed properties, non-conforming dataclass fields;
+- the **inline declaration** ``# repro: unit(<token>)``: a reviewed
+  in-source annotation on the line of a dataclass field, assignment,
+  parameter or ``def`` (declaring the return), the file-local half of
+  the registry (:func:`unit_comments`).
+
+The arithmetic rules (:func:`multiply`, :func:`divide`,
+:func:`combine`) are deliberately conservative: unknown dims stay
+unknown, products of two known dims are unknown unless a specific rule
+applies (``time × freq`` of matching scale is ``cycles``;
+``cycles × time`` is time; ``fraction`` is transparent), and a numeric
+literal that is a power of ten *erases* the other operand's dim — it is
+almost always a manual scale conversion (``seconds * 1e9``,
+``clock_mhz * 1e6``) the analysis cannot validate, and propagating
+through it is how false positives are born.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import re
+import tokenize
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One inferred/declared dimension: a physical quantity at a scale."""
+
+    quantity: str  # "time" | "cycles" | "freq" | "size" | "fraction" | "cpi"
+    unit: str  # the scale token, e.g. "ns", "cycles", "bytes", "lines"
+
+    def __str__(self) -> str:
+        return self.unit
+
+
+def _dims(quantity: str, *units: str) -> dict[str, Dim]:
+    return {unit: Dim(quantity, unit) for unit in units}
+
+
+#: Unit token -> :class:`Dim`.  The tokens are what suffixes, registry
+#: entries and inline ``unit(...)`` comments may name.
+UNITS: dict[str, Dim] = {
+    **_dims("time", "ns", "us", "ms", "s"),
+    **_dims("cycles", "cycles"),
+    **_dims("freq", "hz", "khz", "mhz", "ghz"),
+    **_dims("size", "bytes", "bits", "lines", "words", "banks"),
+    **_dims("fraction", "fraction"),
+    **_dims("cpi", "cpi"),
+}
+
+#: Name suffixes that seed a dim (the repo-wide naming convention).
+#: ``latency_ns`` -> time(ns), ``line_bytes`` -> size(bytes), ...
+_SUFFIX_UNITS: dict[str, str] = {
+    "ns": "ns", "us": "us", "ms": "ms", "seconds": "s",
+    "cycles": "cycles",
+    "hz": "hz", "khz": "khz", "mhz": "mhz", "ghz": "ghz",
+    "bytes": "bytes", "bits": "bits", "lines": "lines", "words": "words",
+    "banks": "banks",
+    "fraction": "fraction",
+}
+
+#: Bare names with a contractual dim (``common/units.py``: "all times
+#: are seconds unless a function name says otherwise").
+_EXACT_NAMES: dict[str, str] = {
+    "seconds": "s",
+}
+
+#: time x freq products whose scales cancel into a pure cycle count
+#: (s*Hz, us*MHz, ns*GHz, ms*kHz); any *other* time x freq product is a
+#: scale error worth flagging.
+_MATCHED_TIME_FREQ: frozenset[tuple[str, str]] = frozenset({
+    ("s", "hz"), ("ms", "khz"), ("us", "mhz"), ("ns", "ghz"),
+})
+_FREQ_TO_TIME = {"hz": "s", "khz": "ms", "mhz": "us", "ghz": "ns"}
+_TIME_TO_FREQ = {t: f for f, t in _FREQ_TO_TIME.items()}
+
+
+def suffix_dim(name: str) -> Dim | None:
+    """The dim a bare name declares by convention, or None.
+
+    Only the ``*_<unit>`` underscore form counts (plus the few exact
+    names like ``seconds``): a variable merely *ending* in ``ns`` —
+    ``columns`` — declares nothing.
+    """
+    if name in _EXACT_NAMES:
+        return UNITS[_EXACT_NAMES[name]]
+    if "_" in name:
+        suffix = name.rsplit("_", 1)[-1]
+        unit = _SUFFIX_UNITS.get(suffix)
+        if unit is not None:
+            return UNITS[unit]
+    return None
+
+
+def is_conversion_pair(a: Dim, b: Dim) -> bool:
+    """True for the seconds<->cycles family of mismatches, where the fix
+    is :func:`repro.common.units.cycles_for_time` /
+    :func:`~repro.common.units.time_for_cycles` rather than a rename."""
+    return {a.quantity, b.quantity} == {"time", "cycles"}
+
+
+def combine(a: Dim | None, b: Dim | None) -> tuple[Dim | None, bool]:
+    """Additive combination (``+``/``-``/``%``/comparison operands).
+
+    Returns ``(result, conflict)``: the result dim (the known operand
+    when only one side is known — ``offset % line_bytes`` is still
+    bytes) and whether two *different* known units met, which is a
+    finding at the call site.
+    """
+    if a is None:
+        return b, False
+    if b is None:
+        return a, False
+    if a == b:
+        return a, False
+    return a, True
+
+
+def multiply(a: Dim | None, b: Dim | None) -> tuple[Dim | None, bool]:
+    """Dim of ``a * b`` plus a conflict flag for mismatched time*freq.
+
+    - ``count * unit`` propagates the unit (``n * line_bytes`` is
+      bytes);
+    - ``fraction`` is transparent (``miss_fraction * latency_ns`` is
+      ns);
+    - ``time * freq`` of matched scale is a cycle count; mismatched
+      scale (``latency_ns * clock_hz``) is a conflict;
+    - ``cycles * time`` is time (cycles times a per-cycle duration);
+    - any other known*known product is out of the lattice: unknown.
+    """
+    if a is None:
+        return b, False
+    if b is None:
+        return a, False
+    if a.quantity == "fraction":
+        return b, False
+    if b.quantity == "fraction":
+        return a, False
+    pair = {a.quantity, b.quantity}
+    if pair == {"time", "freq"}:
+        time, freq = (a, b) if a.quantity == "time" else (b, a)
+        if (time.unit, freq.unit) in _MATCHED_TIME_FREQ:
+            return UNITS["cycles"], False
+        return None, True
+    if pair == {"cycles", "time"}:
+        time = a if a.quantity == "time" else b
+        return time, False
+    return None, False
+
+
+def divide(a: Dim | None, b: Dim | None) -> Dim | None:
+    """Dim of ``a / b`` (never a conflict: ratios are how conversions
+    are legitimately written).
+
+    - ``cycles / freq`` is time at the matching scale (``cycles / hz``
+      is seconds — exactly :func:`repro.common.units.time_for_cycles`);
+    - ``cycles / time`` is freq at the matching scale;
+    - same unit over same unit is a pure ratio: unknown (a count or a
+      fraction the caller may re-declare by name);
+    - ``unit / unknown`` keeps the unit (``total_ns / n``);
+    - everything else is unknown.
+    """
+    if b is None:
+        return a
+    if a is None:
+        return None
+    if a == b:
+        return None
+    if a.quantity == "cycles" and b.quantity == "freq":
+        return UNITS.get(_FREQ_TO_TIME.get(b.unit, ""))
+    if a.quantity == "cycles" and b.quantity == "time":
+        return UNITS.get(_TIME_TO_FREQ.get(b.unit, ""))
+    return None
+
+
+def is_pow10(value: object) -> bool:
+    """True for positive numeric literals that are powers of ten — the
+    signature of a hand-written scale conversion (``* 1e9``, ``* 1e6``,
+    ``/ 1e3``).  ``1`` is excluded; ``1024`` and friends are not powers
+    of ten, so binary size constants keep their dim."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    if value <= 0 or value == 1:
+        return False
+    log = math.log10(value)
+    return abs(log - round(log)) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Annotation registry
+# ---------------------------------------------------------------------------
+
+#: Dotted name -> unit token, for names that cannot carry the suffix
+#: convention.  Three shapes of key:
+#:
+#: - ``module.CONSTANT`` — a scale constant; the token is the dim of a
+#:   quantity *scaled by* the constant (``30 * units.NS`` is a time in
+#:   seconds, ``8 * units.KB`` a size in bytes);
+#: - ``module.function`` / ``module.Class.method`` — the return dim;
+#: - ``module.Class.field`` / ``module.function.param`` — the dim of a
+#:   dataclass field or parameter.
+#:
+#: Every entry is a *reviewed* declaration: the units pass trusts it
+#: over inference, and reports any entry that no longer names a known
+#: function, field or module constant (``unit-annotation``), so the
+#: registry cannot rot.
+ANNOTATIONS: dict[str, str] = {
+    # common/units.py — the sanctioned conversion helpers and scale
+    # constants.  NS/US/MS scale counts into *seconds* (30 * NS is 30ns
+    # expressed in s); MHZ/GHZ scale counts into hertz; KB/MB/GB into
+    # bytes.
+    "repro.common.units.cycles_for_time": "cycles",
+    "repro.common.units.time_for_cycles": "s",
+    "repro.common.units.bits_for_bytes": "bits",
+    "repro.common.units.NS": "s",
+    "repro.common.units.US": "s",
+    "repro.common.units.MS": "s",
+    "repro.common.units.MHZ": "hz",
+    "repro.common.units.GHZ": "hz",
+    "repro.common.units.KB": "bytes",
+    "repro.common.units.MB": "bytes",
+    "repro.common.units.GB": "bytes",
+}
+
+_UNIT_RE = re.compile(r"#\s*repro:\s*unit\(([^)]*)\)")
+
+
+def unit_comments(source: str) -> dict[int, str]:
+    """``# repro: unit(<token>)`` declarations: line number -> raw token.
+
+    Only real ``#`` comments count — the pattern quoted in a docstring
+    or f-string (this repo documents its own conventions) declares
+    nothing, so the source is tokenized rather than regex-scanned.
+    Tokens are *not* validated here; the units pass reports an unknown
+    token as a ``unit-annotation`` warning instead of silently ignoring
+    a typo (``unit(nanoseconds)`` guards nothing).
+    """
+    declared: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _UNIT_RE.search(tok.string)
+            if match:
+                declared[tok.start[0]] = match.group(1).strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable files are already reported by the callgraph
+    return declared

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 class Finding:
     """One diagnostic from one pass."""
 
-    pass_name: str  # "protocol" | "gspn" | "lints"
+    pass_name: str  # "protocol" | "gspn" | "lints" | "deps" | "units"
     rule: str  # kebab-case rule id, e.g. "single-writer"
     severity: str  # "error" | "warning"
     location: str  # config, net name, or file:line

@@ -112,7 +112,7 @@ class PipelineParams:
             raise ConfigError("scoreboard depth must be >= 0")
 
     @property
-    def cycle_ns(self) -> float:
+    def cycle_ns(self) -> float:  # repro: unit(ns)
         return 1e3 / self.clock_mhz
 
 
@@ -198,15 +198,15 @@ class ConventionalSystemParams:
 class MPLatencies:
     """Table 6: memory latencies in processor cycles for the MP study."""
 
-    cache_hit: int = 1
-    victim_hit: int = 1
-    local_memory: int = 6
-    inc_tag_check: int = 1
-    invalidation_round_trip: int = 80
-    remote_load: int = 80
-    flc_hit: int = 1
-    slc_hit: int = 6
-    scoma_page_fault: int = 300
+    cache_hit: int = 1  # repro: unit(cycles)
+    victim_hit: int = 1  # repro: unit(cycles)
+    local_memory: int = 6  # repro: unit(cycles)
+    inc_tag_check: int = 1  # repro: unit(cycles)
+    invalidation_round_trip: int = 80  # repro: unit(cycles)
+    remote_load: int = 80  # repro: unit(cycles)
+    flc_hit: int = 1  # repro: unit(cycles)
+    slc_hit: int = 6  # repro: unit(cycles)
+    scoma_page_fault: int = 300  # repro: unit(cycles)
 
     def __post_init__(self) -> None:
         for name in (
@@ -224,7 +224,7 @@ class MPLatencies:
             raise ConfigError("inc_tag_check must be >= 0")
 
     @property
-    def inc_access(self) -> int:
+    def inc_access(self) -> int:  # repro: unit(cycles)
         """INC access: local memory plus the tag-check penalty (Section 4.2)."""
         return self.local_memory + self.inc_tag_check
 

@@ -41,6 +41,17 @@ def time_for_cycles(cycles: int, clock_hz: float) -> float:
     return cycles / clock_hz
 
 
+BITS_PER_BYTE = 8
+
+
+def bits_for_bytes(num_bytes: int) -> int:
+    """A byte count as a bit count — the explicit form of ``* 8``, so
+    dimension analysis can see the size-unit conversion."""
+    # This IS the sanctioned bytes->bits boundary; the mixing the units
+    # pass would flag here is the conversion itself.
+    return num_bytes * BITS_PER_BYTE  # repro: allow(unit-return)
+
+
 def is_power_of_two(value: int) -> bool:
     """True when ``value`` is a positive power of two."""
     return value > 0 and (value & (value - 1)) == 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
+from repro.common.units import bits_for_bytes
 
 
 def check_bits_for(data_bits: int) -> int:
@@ -123,7 +124,7 @@ def directory_bits_per_block(block_bytes: int = 32) -> int:
     128-bit words (2 x 9 = 18 check bits); the difference, 14 bits, stores
     the directory state and pointer (Figure 5).
     """
-    block_bits = block_bytes * 8
+    block_bits = bits_for_bytes(block_bytes)
     narrow = (block_bits // 64) * SECDED(64).check_bits
     wide = (block_bits // 128) * SECDED(128).check_bits
     return narrow - wide

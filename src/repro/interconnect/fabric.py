@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.common.params import COHERENCE_UNIT_BYTES, IntegratedDeviceParams
+from repro.common.units import MHZ, time_for_cycles
 
 
 class MessageType(Enum):
@@ -61,7 +62,8 @@ class Fabric:
         """Mean fraction of aggregate link bandwidth actually used."""
         if elapsed_cycles <= 0 or num_nodes <= 0:
             return 0.0
-        elapsed_seconds = elapsed_cycles / (self.params.pipeline.clock_mhz * 1e6)
+        clock_hz = self.params.pipeline.clock_mhz * MHZ
+        elapsed_seconds = time_for_cycles(elapsed_cycles, clock_hz)
         capacity = self.bandwidth_gbytes() * 1e9 * elapsed_seconds * num_nodes
         return min(1.0, self.stats.bytes_sent / capacity) if capacity else 0.0
 

@@ -37,7 +37,7 @@ class MemoryModel(Protocol):
 class FlatMemory:
     """Uniform-latency memory (1 cycle = the ideal zero-stall system)."""
 
-    latency: int = 1
+    latency: int = 1  # repro: unit(cycles)
 
     def ifetch_cycles(self, addr: int) -> int:
         return self.latency

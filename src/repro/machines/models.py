@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
-from repro.common.units import KB, MB
+from repro.common.units import KB, MB, MHZ, time_for_cycles
 
 
 @dataclass(frozen=True)
@@ -42,10 +42,12 @@ class MachineModel:
 
     name: str
     clock_mhz: float
-    base_cpi: float  # CPI with all references hitting the first level
+    # CPI with all references hitting the first level.
+    base_cpi: float  # repro: unit(cpi)
     levels: tuple[CacheLevel, ...] = field(default_factory=tuple)
     memory_latency_ns: float = 200.0
-    reference_fraction: float = 0.35  # loads+stores per instruction
+    # Loads+stores per instruction.
+    reference_fraction: float = 0.35  # repro: unit(fraction)
 
     def __post_init__(self) -> None:
         if self.clock_mhz <= 0 or self.base_cpi <= 0:
@@ -57,7 +59,7 @@ class MachineModel:
             raise ConfigError("cache levels must grow monotonically")
 
     @property
-    def cycle_ns(self) -> float:
+    def cycle_ns(self) -> float:  # repro: unit(ns)
         return 1e3 / self.clock_mhz
 
     def access_time_ns(self, array_bytes: int, stride_bytes: int) -> float:
@@ -93,7 +95,7 @@ class MachineModel:
         miss_fraction = min(1.0, stride_bytes / last.line_bytes)
         return last.latency_ns + miss_fraction * self.memory_latency_ns
 
-    def runtime_seconds(
+    def runtime_seconds(  # repro: unit(s)
         self,
         instruction_count: float,
         miss_rate_per_level: tuple[float, ...],
@@ -119,7 +121,10 @@ class MachineModel:
                 * next_latency_ns
                 / self.cycle_ns
             )
-        return instruction_count * cpi / (self.clock_mhz * 1e6)
+        # CPI times instruction count changes quantity: it is a cycle
+        # count, converted to wall-clock time at the machine's clock.
+        total_cycles = instruction_count * cpi  # repro: unit(cycles)
+        return time_for_cycles(total_cycles, self.clock_mhz * MHZ)
 
 
 def sparcstation_5() -> MachineModel:

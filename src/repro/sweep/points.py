@@ -97,7 +97,7 @@ def _gspn_point(
     seed: int,
     *,
     has_l2: bool = False,
-    l2_latency: float = 6.0,
+    l2_latency: float = 6.0,  # repro: unit(cycles)
 ) -> tuple[float, float]:
     """``(cpi, mean bank utilization)`` from the Figure 10 processor net."""
     ifetch, load, store, p_load, p_store = rates_probs
@@ -209,9 +209,9 @@ def dcache_point(
 
 def conventional_point(
     benchmark: str = "126.gcc",
-    mem_latency: float = 24.0,
+    mem_latency: float = 24.0,  # repro: unit(cycles)
     num_banks: int = 2,
-    l2_latency: float = 6.0,
+    l2_latency: float = 6.0,  # repro: unit(cycles)
     trace_len: int = 60_000,
     instructions: int = 8_000,
     seed: int = 0,

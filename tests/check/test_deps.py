@@ -255,8 +255,17 @@ class TestRealPackage:
         assert result.errors == [], [f.render() for f in result.errors]
         resolution = float(result.info["import_resolution"].rstrip("%")) / 100
         assert resolution >= 0.95
-        assert result.info["entry_points"] == 11
+        # 11 registered experiments + 4 sweep base points.
+        assert result.info["entry_points"] == 15
         assert [f for f in result.findings if f.rule == "entry-point"] == []
+
+    def test_sweep_bases_join_the_entry_points(self):
+        from repro.check.deps import registry_entry_points
+        from repro.sweep.points import base_entry_points
+
+        roots = registry_entry_points()
+        for name, target in base_entry_points().items():
+            assert roots[f"sweep:{name}"] == target
 
     def test_rule_namespace_is_stable(self):
         assert DEPS_RULES == (

@@ -1,9 +1,13 @@
+import math
+
 import pytest
 
 from repro.common.units import (
+    BITS_PER_BYTE,
     GB,
     KB,
     MB,
+    bits_for_bytes,
     cycles_for_time,
     is_power_of_two,
     log2_int,
@@ -69,6 +73,71 @@ class TestCyclesForTime:
 
     def test_roundtrip(self):
         assert time_for_cycles(6, 200e6) == pytest.approx(30e-9)
+
+
+class TestRoundtripProperty:
+    """Property-style sweeps of the seconds<->cycles conversion pair.
+
+    The pair is the sanctioned boundary the units pass points every
+    seconds/cycles mix at, so its numerics carry the whole tree: every
+    decimal-ns latency at every plausible clock must convert without
+    drift, and the ulp tolerance must neither bill representation noise
+    as a cycle nor swallow a genuinely fractional one.
+    """
+
+    # 100 MHz .. 1 GHz in awkward steps, plus the paper's 200 MHz.
+    CLOCKS_HZ = [100e6, 133e6, 166e6, 200e6, 250e6, 333e6, 400e6,
+                 500e6, 666e6, 800e6, 1e9]
+    # Decimal-ns latencies of the kind the paper tabulates.
+    LATENCIES_NS = [0.5, 1, 2, 2.5, 5, 6, 7, 10, 12.5, 15, 20, 24, 30,
+                    45, 60, 90, 100, 120, 180, 200, 240, 300]
+
+    def test_decimal_ns_latencies_match_exact_arithmetic(self):
+        # cycles_for_time must agree with exact (Fraction-free) ceil
+        # computed in integers: ns * hz / 1e9 with hz a multiple of 1e6
+        # makes the exact product (ns * MHz) / 1000.
+        for hz in self.CLOCKS_HZ:
+            mhz = round(hz / 1e6)
+            for ns in self.LATENCIES_NS:
+                exact = math.ceil(round(ns * 10) * mhz / 10_000)
+                got = cycles_for_time(ns * 1e-9, mhz * 1e6)
+                assert got == exact, (ns, mhz, got, exact)
+
+    def test_roundtrip_is_identity_over_the_grid(self):
+        for hz in self.CLOCKS_HZ:
+            for cycles in [1, 2, 3, 5, 6, 7, 11, 64, 100, 199, 1000,
+                           12_345]:
+                seconds = time_for_cycles(cycles, hz)
+                assert cycles_for_time(seconds, hz) == cycles, (cycles, hz)
+
+    def test_just_below_an_integer_snaps_within_ulp_tolerance(self):
+        # One ulp below an exact whole-cycle product is representation
+        # noise, not a shorter duration: it must snap to the integer,
+        # not truncate-and-round-up to the same value by accident at a
+        # different boundary.  Verify via a product that is *not*
+        # exactly representable: 6 cycles at 333 MHz.
+        seconds = time_for_cycles(6, 333e6)
+        noisy = math.nextafter(seconds, 0.0)
+        assert cycles_for_time(noisy, 333e6) == 6
+
+    def test_just_above_an_integer_snaps_within_ulp_tolerance(self):
+        seconds = time_for_cycles(6, 333e6)
+        noisy = math.nextafter(seconds, math.inf)
+        assert cycles_for_time(noisy, 333e6) == 6
+
+    def test_clearly_fractional_is_not_snapped(self):
+        # 0.1% over a whole cycle is a real fraction of a cycle — far
+        # outside the 4e-16 relative tolerance — and must round up.
+        for hz in self.CLOCKS_HZ:
+            seconds = time_for_cycles(6, hz) * 1.001
+            assert cycles_for_time(seconds, hz) == 7, hz
+
+
+class TestBitsForBytes:
+    def test_scales_by_eight(self):
+        assert BITS_PER_BYTE == 8
+        assert bits_for_bytes(32) == 256
+        assert bits_for_bytes(0) == 0
 
 
 class TestPowerOfTwo:

@@ -44,3 +44,16 @@ class TestBandwidth:
         fabric = Fabric()
         assert fabric.utilization(0, 2) == 0.0
         assert fabric.utilization(100, 0) == 0.0
+
+    def test_utilization_value_pins_the_cycles_to_seconds_conversion(self):
+        # Regression for the explicit time_for_cycles boundary: 10_000
+        # cycles at the default 200 MHz clock are 50 us of wall-clock
+        # capacity.
+        fabric = Fabric()
+        for _ in range(1000):
+            fabric.send(MessageType.READ_REPLY)
+        bytes_sent = fabric.stats.bytes_sent
+        elapsed_seconds = 10_000 / 200e6
+        capacity = fabric.bandwidth_gbytes() * 1e9 * elapsed_seconds * 2
+        util = fabric.utilization(elapsed_cycles=10_000, num_nodes=2)
+        assert util == pytest.approx(bytes_sent / capacity)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Drive a running simulation daemon with concurrent mixed traffic.
+
+    python -m repro serve --port 8321 &
+    python scripts/loadtest.py --url http://127.0.0.1:8321 \\
+        --clients 32 --requests-per-client 8 --miss-every 10 \\
+        --out artifacts/bench/loadtest.json
+
+Thin CLI over :mod:`repro.serve.loadtest` (run with ``PYTHONPATH=src``
+from a checkout).  Exits nonzero if any request was dropped on the
+floor — every submit must reach a terminal verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.loadtest import run_loadtest  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--requests-per-client", type=int, default=8)
+    parser.add_argument("--miss-every", type=int, default=10,
+                        help="slot i is a cache miss when i %% miss-every "
+                             "== 0 (10 = the 90/10 mix)")
+    parser.add_argument("--deadline", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="global budget; undecided requests past it "
+                             "count as dropped")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip pre-warming the hit config")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the BENCH-style summary JSON")
+    args = parser.parse_args(argv)
+
+    summary = run_loadtest(
+        args.url,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        miss_every=args.miss_every,
+        deadline_s=args.deadline,
+        warm=not args.no_warm,
+    )
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        path = Path(args.out)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"loadtest summary written to {path}", file=sys.stderr)
+    if summary["dropped"]:
+        print(f"FAIL: {summary['dropped']} request(s) never reached a "
+              f"terminal status", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.runner import (
     RunJournal,
     SupervisionPolicy,
     default_cache_dir,
+    sigterm_interrupts,
 )
 
 
@@ -64,6 +65,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sweep.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The long-running simulation service has its own flags; hand
+        # off before the experiment parser sees them.
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -72,8 +79,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment name (see 'list'), 'all', 'docs', 'list', "
-             "'check' (static verification; see 'check --help'), or "
-             "'sweep' (design-space exploration; see 'sweep --help')",
+             "'check' (static verification; see 'check --help'), "
+             "'sweep' (design-space exploration; see 'sweep --help'), or "
+             "'serve' (simulation service; see 'serve --help')",
     )
     parser.add_argument(
         "--procs",
@@ -293,11 +301,15 @@ def main(argv: list[str] | None = None) -> int:
             partial.write(args.metrics_out)
 
     try:
-        results, metrics = run_experiments(
-            selected, overrides, jobs=args.jobs, cache=cache,
-            policy=policy, faults=faults or None,
-            journal=journal, resume=args.resume, on_partial=write_partial,
-        )
+        # SIGTERM takes the KeyboardInterrupt path: live workers are
+        # terminated and the journal stays flushed, so a `kill` is as
+        # resumable as a Ctrl-C.
+        with sigterm_interrupts():
+            results, metrics = run_experiments(
+                selected, overrides, jobs=args.jobs, cache=cache,
+                policy=policy, faults=faults or None,
+                journal=journal, resume=args.resume, on_partial=write_partial,
+            )
     except KeyboardInterrupt:
         print("\ninterrupted — completed shards are journaled and cached; "
               "rerun with --resume to pick up where this run stopped",

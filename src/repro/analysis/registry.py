@@ -298,8 +298,18 @@ CLI_KNOBS = {"procs": "proc_counts", "trace_len": "trace_len"}
 
 
 def entry_points() -> dict[str, str]:
-    """Experiment name -> dotted entry-point function name."""
-    return {name: spec.entry_point for name, spec in SPECS.items()}
+    """Analysis roots: experiment name -> dotted entry-point function.
+
+    Besides the registered experiments this includes the simulation
+    service's roots (``serve:*``), so the ``deps``/``units``/``lints``
+    passes reach the serving subsystem — its admission path, breaker
+    and HTTP stack — exactly like experiment code.  Lazy import: the
+    serve package resolves requests *against* this registry."""
+    points = {name: spec.entry_point for name, spec in SPECS.items()}
+    from repro.serve.api import serve_entry_points
+
+    points.update(serve_entry_points())
+    return points
 
 
 def docs_table() -> str:

@@ -44,7 +44,7 @@ from repro.runner.fingerprint import (
     invalidate,
     slice_fingerprint,
 )
-from repro.runner.journal import RunJournal
+from repro.runner.journal import RunJournal, sigterm_interrupts
 from repro.runner.metrics import METRICS_SCHEMA_VERSION, RunMetrics, TaskMetrics
 from repro.runner.resilience import (
     FailFastError,
@@ -76,6 +76,7 @@ __all__ = [
     "default_cache_dir",
     "invalidate",
     "run_tasks",
+    "sigterm_interrupts",
     "slice_fingerprint",
     "supervised_call",
     "supervised_map",

@@ -25,15 +25,21 @@ Layout under the cache root (default ``.repro-cache``, overridable with
         abcdef....json    # metadata: call id, kwargs, fingerprint,
                           # wall time and event tallies of the miss run
 
-Writes go through a temp file + rename so a crashed run never leaves a
-truncated entry behind.
+Writes go through a per-writer temp file + atomic ``os.replace`` so a
+crashed run never leaves a truncated entry behind, and — because temp
+names are unique per (pid, thread, store) — two writers racing to
+store the same key (two pool processes, or two threads of the
+simulation daemon) never interleave bytes in one temp file: the loser's
+complete entry simply replaces the winner's complete entry.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -141,16 +147,32 @@ class ResultCache:
                 pass  # a second reader won the rename race; entry is gone either way
         tally.add("cache_corrupt_entries", 1)
 
+    # Distinguishes concurrent stores from the *same* thread re-entering
+    # (impossible today, cheap to rule out forever) and, combined with
+    # pid + thread id, makes every in-flight temp file name unique.
+    _store_counter = itertools.count()
+
+    def _tmp_suffix(self) -> str:
+        """A temp-file suffix no other in-flight writer can collide with.
+
+        ``os.getpid()`` alone is not enough: the simulation daemon
+        stores from multiple *threads* of one process, and two threads
+        sharing a temp path interleave their writes into a torn file
+        that the next reader quarantines.
+        """
+        token = next(self._store_counter)
+        return f".tmp-{os.getpid()}-{threading.get_ident()}-{token}"
+
     def store(self, key: str, result: Any, meta: dict[str, Any]) -> None:
         pkl, meta_path = self._paths(key)
         pkl.parent.mkdir(parents=True, exist_ok=True)
-        tmp = pkl.with_suffix(f".tmp{os.getpid()}")
+        tmp = pkl.with_suffix(self._tmp_suffix())
         with tmp.open("wb") as fh:
             pickle.dump(result, fh)
-        tmp.replace(pkl)
-        tmp_meta = meta_path.with_suffix(f".tmpmeta{os.getpid()}")
+        os.replace(tmp, pkl)  # atomic: readers see the old or new entry, never a mix
+        tmp_meta = meta_path.with_suffix(f"{self._tmp_suffix()}.meta")
         tmp_meta.write_text(json.dumps(meta, sort_keys=True, default=repr))
-        tmp_meta.replace(meta_path)
+        os.replace(tmp_meta, meta_path)
 
 
 def call_id_for(fn: Callable) -> str:

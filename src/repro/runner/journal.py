@@ -21,17 +21,62 @@ falls through to normal execution.
 
 A fresh (non-resume) run truncates the fingerprint's journal first, so
 the journal always describes exactly one logical run.
+
+The simulation service (:mod:`repro.serve`) shares this journal and
+adds a third status, ``submitted``: a request journaled the moment it
+is admitted to the work queue.  A ``submitted`` record whose label
+never reaches ``done``/``quarantined`` marks work a killed daemon left
+in flight; :meth:`RunJournal.pending` surfaces exactly those so a
+restarted daemon ``--resume``\\ s them.
+
+Interrupts: every record is appended and flushed the moment it is
+written, so *any* death — Ctrl-C, SIGTERM, SIGKILL — leaves a faithful
+journal of everything that settled.  What SIGTERM needs on top is the
+*orderly teardown* Ctrl-C gets for free (terminate live workers,
+report partial metrics): :func:`sigterm_interrupts` converts SIGTERM
+into ``KeyboardInterrupt`` for the duration of a run, so ``kill
+<pid>`` journals a sweep — and drains a daemon — exactly the way
+Ctrl-C does.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+from contextlib import contextmanager
 from pathlib import Path
 
 JOURNAL_DIR = "journal"
 
 STATUS_DONE = "done"
 STATUS_QUARANTINED = "quarantined"
+STATUS_SUBMITTED = "submitted"
+
+
+@contextmanager
+def sigterm_interrupts():
+    """Raise ``KeyboardInterrupt`` on SIGTERM while the context is open.
+
+    Installed by the CLI around a run and by the daemon around serving,
+    so SIGTERM takes the same flush-journal-and-unwind path as Ctrl-C
+    instead of the default handler's instant death.  A no-op off the
+    main thread or on platforms without SIGTERM (only the main thread
+    may set signal handlers).
+    """
+    if threading.current_thread() is not threading.main_thread() or \
+            not hasattr(signal, "SIGTERM"):
+        yield
+        return
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 class RunJournal:
@@ -41,6 +86,9 @@ class RunJournal:
         self.root = Path(root)
         self.fingerprint = fingerprint
         self.path = self.root / JOURNAL_DIR / f"{fingerprint}.jsonl"
+        # The daemon's worker threads record concurrently; one lock per
+        # journal keeps each appended line whole.
+        self._lock = threading.Lock()
 
     def begin(self, *, resume: bool) -> None:
         """Start a run: keep the journal when resuming, truncate it
@@ -50,19 +98,24 @@ class RunJournal:
             self.path.write_text("")
 
     def record(self, label: str, *, status: str, key: str,
-               attempts: int = 1) -> None:
-        """Append one settled task; flushed (and the line complete)
-        before returning so an interrupt cannot lose it."""
+               attempts: int = 1, extra: dict | None = None) -> None:
+        """Append one settled (or, for the daemon, admitted) task;
+        flushed (and the line complete) before returning so an
+        interrupt cannot lose it.  ``extra`` fields (e.g. the service's
+        original request body) are merged into the record."""
         entry = {
             "label": label,
             "status": status,
             "key": key,
             "attempts": attempts,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
-            fh.flush()
+        if extra:
+            entry.update(extra)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
 
     def entries(self) -> list[dict]:
         """Every parseable record, oldest first (damaged trailing lines
@@ -91,6 +144,21 @@ class RunJournal:
             label = record.get("label", "")
             if record.get("status") == STATUS_DONE and record.get("key"):
                 done[label] = record["key"]
-            else:
+            elif record.get("status") != STATUS_SUBMITTED:
+                # A quarantine (or unknown status) un-does the label; a
+                # ``submitted`` record is a promise, not a verdict, so
+                # it never demotes an earlier completion.
                 done.pop(label, None)
         return done
+
+    def pending(self) -> list[dict]:
+        """Records for labels whose *latest* status is ``submitted`` —
+        work a killed daemon admitted but never settled, oldest first."""
+        latest: dict[str, dict] = {}
+        for record in self.entries():
+            label = record.get("label", "")
+            latest[label] = record
+        return [
+            record for record in latest.values()
+            if record.get("status") == STATUS_SUBMITTED
+        ]

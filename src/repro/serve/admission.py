@@ -1,0 +1,99 @@
+"""Admission control: per-client token-bucket rate limiting.
+
+The simulation service's bounded queue protects the pool from *total*
+overload; the :class:`RateLimiter` here protects it from one
+misbehaving client monopolizing that queue.  Each client id (the
+``X-Client-Id`` header, falling back to the peer address) gets its own
+:class:`TokenBucket`: ``rate`` tokens/second of sustained admission
+with bursts up to ``burst``.  A request that finds the bucket empty is
+refused with the exact number of seconds until a token will be
+available, which the HTTP layer surfaces as ``Retry-After``.
+
+Like the circuit breaker, everything here is a pure function of an
+injectable monotonic ``clock``, so tests drive the refill logic tick
+by tick without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Classic leaky/token bucket: ``burst`` capacity, ``rate`` refill."""
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:  # repro: allow(wall-clock) — bucket refill pacing, injectable for tests
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0 on success or the
+        seconds until enough tokens will have refilled (the request's
+        ``Retry-After``)."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+class RateLimiter:
+    """Per-client token buckets with a bounded client table.
+
+    ``max_clients`` caps the table so an address-spoofing client cannot
+    grow it without bound: when full, the stalest bucket (least
+    recently used) is evicted — its client simply starts over with a
+    full bucket, which only ever errs in the client's favour.
+    """
+
+    def __init__(self, rate: float, burst: float, *, max_clients: int = 1024,
+                 clock: Callable[[], float] = time.monotonic) -> None:  # repro: allow(wall-clock) — bucket refill pacing, injectable for tests
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}  # insertion = LRU order
+
+    def try_acquire(self, client: str, tokens: float = 1.0) -> float:
+        """0.0 when ``client`` may proceed, else its Retry-After seconds."""
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    stalest = next(iter(self._buckets))
+                    del self._buckets[stalest]
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket  # re-insert = most recent
+            return bucket.try_acquire(tokens)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "clients": len(self._buckets),
+                "rate": self.rate,
+                "burst": self.burst,
+            }

@@ -1,0 +1,129 @@
+"""Request resolution: HTTP JSON bodies -> runner tasks.
+
+Two request shapes, mirroring the two ways work enters the runner
+everywhere else, so a service-computed result is byte-for-byte the
+cache entry a CLI or sweep run would have produced (and vice versa —
+whoever computes first, everyone else hits):
+
+- ``{"experiment": <name>, "overrides": {...}}`` — one registered
+  experiment (:mod:`repro.analysis.registry`), run unsharded as a
+  single task.
+- ``{"base": <name>, "config": {...}}`` — one design point over a
+  sweep base (:mod:`repro.sweep.points`).  The task label is built the
+  way :meth:`repro.sweep.spec.SweepSpec.configs` builds it (axis
+  values in the base's declaration order), so a point the CI
+  micro-sweep already ran is an immediate cache hit here.
+
+Both accept ``"timeout_s"``: the client's deadline budget, which the
+service propagates into the attempt watchdog.
+
+:func:`serve_entry_points` registers the daemon with the static
+analysis passes (``python -m repro check``) via
+:func:`repro.analysis.registry.entry_points`, so seed-flow, dependency
+and unit checking cover the serving subsystem like any experiment.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+from repro.analysis.registry import SPECS
+from repro.runner.core import Task
+from repro.serve.service import ServeRequestError
+from repro.sweep.points import AXES, BASES
+
+#: Request keys that are service directives, not task parameters.
+_DIRECTIVES = frozenset({"experiment", "overrides", "base", "config",
+                         "timeout_s"})
+
+
+def resolve_request(request: dict) -> Task:
+    """Validate a request body and build its task, or raise
+    :class:`~repro.serve.service.ServeRequestError`."""
+    if not isinstance(request, dict):
+        raise ServeRequestError(
+            f"request body must be a JSON object, got {type(request).__name__}")
+    unknown = set(request) - _DIRECTIVES
+    if unknown:
+        raise ServeRequestError(
+            f"unknown request field(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(_DIRECTIVES))})")
+    has_experiment = "experiment" in request
+    has_base = "base" in request
+    if has_experiment == has_base:
+        raise ServeRequestError(
+            "request must name exactly one of 'experiment' or 'base'")
+    if has_experiment:
+        return _experiment_task(request)
+    return _base_task(request)
+
+
+def _kwargs_dict(request: dict, field: str) -> dict[str, Any]:
+    value = request.get(field, {})
+    if not isinstance(value, dict):
+        raise ServeRequestError(
+            f"{field!r} must be a JSON object, got {type(value).__name__}")
+    return dict(value)
+
+
+def _experiment_task(request: dict) -> Task:
+    name = request["experiment"]
+    spec = SPECS.get(name)
+    if spec is None:
+        raise ServeRequestError(
+            f"unknown experiment {name!r} (known: {', '.join(SPECS)})")
+    overrides = _kwargs_dict(request, "overrides")
+    accepted = set(inspect.signature(spec.fn).parameters)
+    bad = set(overrides) - accepted
+    if bad:
+        raise ServeRequestError(
+            f"experiment {name!r} does not accept: {', '.join(sorted(bad))} "
+            f"(accepts: {', '.join(sorted(accepted))})")
+    # Unsharded: one task computes the whole experiment, exactly like
+    # ``Task(name, "", fn, kwargs)`` in the registry's no-shard path.
+    return Task(experiment=name, shard="", fn=spec.fn, kwargs=overrides)
+
+
+def _base_task(request: dict) -> Task:
+    name = request["base"]
+    base = BASES.get(name)
+    if base is None:
+        raise ServeRequestError(
+            f"unknown sweep base {name!r} (known: {', '.join(BASES)})")
+    config = _kwargs_dict(request, "config")
+    allowed = set(base.axes) | set(base.fixed)
+    bad = set(config) - allowed
+    if bad:
+        raise ServeRequestError(
+            f"base {name!r} does not accept: {', '.join(sorted(bad))} "
+            f"(accepts: {', '.join(sorted(allowed))})")
+    for axis in base.axes:
+        if axis in config:
+            _, validator = AXES[axis]
+            if not validator(config[axis]):
+                raise ServeRequestError(
+                    f"bad value {config[axis]!r} for axis {axis!r} "
+                    f"({AXES[axis][0]})")
+    # Label exactly as a sweep spec labels this configuration: swept
+    # axes in declaration order.  Same label + same kwargs = same cache
+    # key as the sweep run, so the two collapse.
+    label = ",".join(
+        f"{axis}={config[axis]}" for axis in base.axes if axis in config
+    )
+    if not label:
+        label = "defaults"
+    return Task(experiment=f"sweep:{name}", shard=label, fn=base.fn,
+                kwargs=config)
+
+
+def serve_entry_points() -> dict[str, str]:
+    """Static-analysis roots for the serving subsystem.
+
+    The daemon's main is the root that reaches the whole HTTP + service
+    + admission stack; the resolver is listed separately because the
+    callgraph cannot see through the service's injected callable."""
+    return {
+        "serve:daemon": "repro.serve.cli.main",
+        "serve:resolve": "repro.serve.api.resolve_request",
+    }

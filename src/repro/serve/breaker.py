@@ -1,0 +1,186 @@
+"""Circuit breaker: fail fast when the process pool is unhealthy.
+
+A :class:`CircuitBreaker` guards the simulation service's *pool* — the
+one shared resource every cache-missing request contends for — so a
+run of infrastructure failures (worker crashes, watchdog kills,
+corrupt result payloads) stops new work from piling onto a broken
+backend.  Classic three-state machine:
+
+- **closed** — normal operation.  Every admission is allowed; each
+  quarantine-grade failure increments a consecutive-failure counter,
+  any success resets it.  ``failure_threshold`` consecutive failures
+  trip the breaker.
+- **open** — admissions are refused (the service degrades to
+  cache-hit-only mode; see :mod:`repro.serve.service`) until
+  ``reset_timeout_s`` has elapsed on the injected monotonic clock.
+- **half-open** — after the timeout, up to ``probe_limit`` in-flight
+  *probe* admissions are allowed through to test the pool.
+  ``probe_successes`` successful probes close the breaker; any probe
+  failure re-opens it and restarts the timeout.
+
+The breaker is deliberately a pure state machine over an injectable
+``clock`` callable: no threads, no wall-clock reads of its own, so the
+transition table is unit-testable tick by tick
+(``tests/serve/test_breaker.py``) separately from the HTTP stack.  All
+methods take an internal lock, making the object safe to share between
+the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery policy for one :class:`CircuitBreaker`.
+
+    ``failure_threshold`` consecutive failures trip a closed breaker;
+    an open breaker admits probes after ``reset_timeout_s`` seconds;
+    ``probe_successes`` successful probes re-close it, with at most
+    ``probe_limit`` probes in flight at once.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout_s: float = 30.0
+    probe_successes: int = 1
+    probe_limit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}")
+        if self.reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {self.reset_timeout_s}")
+        if self.probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {self.probe_successes}")
+        if self.probe_limit < 1:
+            raise ValueError(
+                f"probe_limit must be >= 1, got {self.probe_limit}")
+
+
+class CircuitBreaker:
+    """Three-state breaker over an injectable monotonic clock.
+
+    The caller pairs every successful :meth:`allow` with exactly one
+    later :meth:`record_success` or :meth:`record_failure`; that pairing
+    is what makes half-open probe accounting exact.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:  # repro: allow(wall-clock) — breaker pacing, injectable for tests
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._opens = 0  # lifetime count of closed/half-open -> open trips
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the reset
+        timeout has elapsed (reads are transition points too)."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker starts probing (0 when it
+        already admits work)."""
+        with self._lock:
+            self._advance()
+            if self._state != STATE_OPEN:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.config.reset_timeout_s - elapsed)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the health endpoint."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "probes_in_flight": self._probes_in_flight,
+                "probe_successes": self._probe_successes,
+                "opens": self._opens,
+            }
+
+    # -- transitions ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one unit of pool work start now?
+
+        Closed: always.  Open: never (until the reset timeout promotes
+        the breaker to half-open).  Half-open: only while fewer than
+        ``probe_limit`` probes are in flight.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN and \
+                    self._probes_in_flight < self.config.probe_limit:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._advance()
+            if self._state == STATE_HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.probe_successes:
+                    self._state = STATE_CLOSED
+                    self._consecutive_failures = 0
+                    self._probes_in_flight = 0
+                    self._probe_successes = 0
+            elif self._state == STATE_CLOSED:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._advance()
+            if self._state == STATE_HALF_OPEN:
+                # A failed probe re-opens immediately; in-flight probe
+                # accounting resets with the state.
+                self._trip()
+            elif self._state == STATE_CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.config.failure_threshold:
+                    self._trip()
+            # Failures reported while already open (stragglers admitted
+            # before the trip) keep it open; the timeout restarts only
+            # on a trip, not on every late failure.
+
+    # -- internals (caller holds the lock) --------------------------------
+
+    def _trip(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._opens += 1
+
+    def _advance(self) -> None:
+        """Open -> half-open once the reset timeout has elapsed."""
+        if self._state == STATE_OPEN and \
+                self._clock() - self._opened_at >= self.config.reset_timeout_s:
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0

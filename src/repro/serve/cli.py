@@ -1,0 +1,189 @@
+"""``python -m repro serve`` — run the resilient simulation daemon.
+
+    python -m repro serve --port 8321
+    python -m repro serve --port 8321 --workers 4 --queue-depth 128
+    python -m repro serve --port 0 --ready-file /tmp/addr  # ephemeral port
+
+Shutdown contract: SIGTERM and SIGINT both *drain* — admissions stop
+(503), in-flight work gets ``--drain-grace`` seconds to settle, and
+whatever is still unfinished stays journaled ``submitted`` under the
+cache root, so the next ``serve --resume`` re-enqueues exactly that
+work.  ``--summary-out`` writes the BENCH-style service summary
+(hit/miss latency percentiles, admission counters, breaker trips) on
+the way down.
+
+``--inject`` takes the same deterministic fault plans as the batch
+CLI, matched against job labels (e.g. ``'sweep:figure7/*=crash:2'``),
+which is how the CI smoke proves the circuit breaker opens under a
+pool outage and recovers after it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from repro.faults import FaultPlan, FaultPlanError
+from repro.runner import ResultCache, RunJournal, default_cache_dir
+from repro.serve.api import resolve_request
+from repro.serve.breaker import BreakerConfig
+from repro.serve.http import make_server
+from repro.serve.service import ServiceConfig, SimulationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="HTTP+JSON simulation service over the supervised runner.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="TCP port (0 picks a free one; see --ready-file)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="pool dispatcher threads (concurrent tasks)")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="bounded work queue; beyond it submits get 429")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="per-client sustained submits/sec (token bucket)")
+    parser.add_argument("--burst", type=float, default=100.0,
+                        help="per-client burst allowance (bucket capacity)")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        metavar="N",
+                        help="consecutive quarantines that trip the breaker")
+    parser.add_argument("--breaker-reset", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="open -> half-open probe delay")
+    parser.add_argument("--breaker-probes", type=int, default=1, metavar="N",
+                        help="successful half-open probes needed to close")
+    parser.add_argument("--task-timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="default per-attempt watchdog (request "
+                             "timeout_s budgets tighten it per job)")
+    parser.add_argument("--max-retries", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache root (default .repro-cache, or "
+                             "$REPRO_CACHE_DIR)")
+    parser.add_argument("--inject", action="append", default=None,
+                        metavar="LABEL=KIND",
+                        help="deterministic fault injection, matched against "
+                             "job labels (e.g. 'sweep:figure7/*=crash:2')")
+    parser.add_argument("--resume", action="store_true",
+                        help="re-enqueue requests journaled 'submitted' by a "
+                             "previous daemon that was killed mid-flight")
+    parser.add_argument("--inline", action="store_true",
+                        help="run attempts in-process instead of "
+                             "process-per-attempt (tests only: a crashing "
+                             "task is simulated, not a real child process)")
+    parser.add_argument("--drain-grace", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="how long SIGTERM waits for in-flight work")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write 'host port' once the socket is listening")
+    parser.add_argument("--summary-out", default=None, metavar="PATH",
+                        help="write the BENCH-style service summary JSON on "
+                             "shutdown")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain and summarize.
+
+    Builds the admission stack (cache + journal + rate limiter +
+    breaker) from flags, binds the HTTP front end, and blocks.  Exit 0
+    after a clean drain, 2 on unusable flags.  Registered as the
+    ``serve:daemon`` entry point so the static passes cover the
+    service subsystem."""
+    args = build_parser().parse_args(argv)
+    try:
+        faults = FaultPlan.parse(args.inject or [])
+        faults = FaultPlan(faults.specs + FaultPlan.from_env().specs)
+    except FaultPlanError as exc:
+        print(f"bad --inject / $REPRO_INJECT: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = ServiceConfig(
+            queue_depth=args.queue_depth,
+            workers=args.workers,
+            rate=args.rate,
+            burst=args.burst,
+            breaker=BreakerConfig(
+                failure_threshold=args.breaker_threshold,
+                reset_timeout_s=args.breaker_reset,
+                probe_successes=args.breaker_probes,
+            ),
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            isolate=not args.inline,
+            drain_grace_s=args.drain_grace,
+        )
+    except ValueError as exc:
+        print(f"bad serve flags: {exc}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    journal = RunJournal(cache.root, cache.fingerprint)
+    service = SimulationService(
+        resolve_request, cache, config=config, journal=journal,
+        faults=faults or None,
+    )
+    service.start()
+    if args.resume:
+        resumed = service.resume_pending()
+        if resumed:
+            print(f"resumed {resumed} journaled in-flight request(s)",
+                  file=sys.stderr)
+
+    server = make_server(service, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    if args.ready_file:
+        Path(args.ready_file).write_text(f"{host} {port}\n")
+    print(f"serving on http://{host}:{port} "
+          f"(workers={config.workers}, queue={config.queue_depth}, "
+          f"fingerprint={cache.fingerprint[:12]})", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def request_shutdown(signum, frame) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, request_shutdown)
+
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     name="serve-http", daemon=True)
+    server_thread.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("draining: admissions stopped, waiting for in-flight work",
+              file=sys.stderr)
+        drained = service.drain(args.drain_grace)
+        server.shutdown()
+        server.server_close()
+        server_thread.join(timeout=5.0)
+        summary = service.service_summary()
+        summary["drain"] = drained
+        if args.summary_out:
+            path = Path(args.summary_out)
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                            + "\n")
+            print(f"service summary written to {path}", file=sys.stderr)
+        print(f"drained: {drained['settled']} settled, "
+              f"{drained['abandoned']} abandoned (journaled for --resume)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

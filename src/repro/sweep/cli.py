@@ -29,6 +29,7 @@ from repro.runner import (
     RunJournal,
     SupervisionPolicy,
     default_cache_dir,
+    sigterm_interrupts,
 )
 from repro.sweep.engine import run_sweep
 from repro.sweep.report import (
@@ -244,11 +245,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{spec.base} ({'×'.join(str(len(v)) for _, v in spec.axes)})",
           file=sys.stderr)
     try:
-        outcome, metrics = run_sweep(
-            spec, jobs=args.jobs, cache=cache, policy=policy,
-            faults=faults or None, journal=journal, resume=args.resume,
-            on_partial=write_partial,
-        )
+        # SIGTERM drains like Ctrl-C: journal flushed, workers reaped.
+        with sigterm_interrupts():
+            outcome, metrics = run_sweep(
+                spec, jobs=args.jobs, cache=cache, policy=policy,
+                faults=faults or None, journal=journal, resume=args.resume,
+                on_partial=write_partial,
+            )
     except KeyboardInterrupt:
         print("\ninterrupted — completed configurations are journaled and "
               "cached; rerun with --resume", file=sys.stderr)

@@ -89,6 +89,84 @@ class TestResultCache:
         assert not pkl.exists() and not meta.exists()
         assert pkl.with_suffix(".pkl.corrupt").exists()
 
+    def test_torn_write_at_final_path_still_quarantines(self, tmp_path):
+        # The atomic-rename protocol means store() can never leave a
+        # partial pickle at the final path — but a crashed writer from
+        # *before* the protocol (or a filesystem fault) still can, and
+        # that entry must quarantine exactly like any other damage.
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {})
+        cache.store(key, list(range(100)), {})
+        pkl, _ = cache._paths(key)
+        pkl.write_bytes(pkl.read_bytes()[:10])  # torn mid-payload
+        before = tally.snapshot()
+        assert cache.load(key) is None
+        assert tally.since(before) == {"cache_corrupt_entries": 1}
+        assert pkl.with_suffix(".pkl.corrupt").exists()
+
+
+class TestConcurrentStore:
+    """The daemon's worker threads store concurrently; writes must be
+    atomic (write-to-temp + ``os.replace``) so a reader never sees — and
+    the quarantine path never fires on — a torn entry."""
+
+    def test_tmp_suffixes_never_collide(self, tmp_path):
+        import threading
+
+        cache = _cache(tmp_path)
+        suffixes = []
+        lock = threading.Lock()
+
+        def grab():
+            mine = [cache._tmp_suffix() for _ in range(50)]
+            with lock:
+                suffixes.extend(mine)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(suffixes)) == len(suffixes)
+        # pid and thread id are both in the name, so two *processes*
+        # (or a fork) cannot collide either.
+        import os
+
+        assert str(os.getpid()) in suffixes[0]
+
+    def test_concurrent_same_key_stores_never_quarantine(self, tmp_path):
+        # Before atomic renames, two threads sharing the temp path
+        # interleaved their pickles into a torn file; this hammers the
+        # exact same key from many threads and demands every subsequent
+        # load is a clean hit with one of the written payloads.
+        import threading
+
+        cache = _cache(tmp_path)
+        key = cache.key("experiment:demo", {"n": 1})
+        payloads = [list(range(i, i + 1000)) for i in range(8)]
+        barrier = threading.Barrier(len(payloads))
+
+        def writer(payload):
+            barrier.wait()
+            for _ in range(25):
+                cache.store(key, payload, {"tallies": {}})
+
+        threads = [threading.Thread(target=writer, args=(p,))
+                   for p in payloads]
+        before = tally.snapshot()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        entry = cache.load(key)
+        assert entry is not None and entry.result in payloads
+        assert tally.since(before) == {}  # no quarantine ever fired
+        pkl, _ = cache._paths(key)
+        assert not pkl.with_suffix(".pkl.corrupt").exists()
+        # No temp litter left behind either.
+        assert [p.name for p in pkl.parent.iterdir()
+                if ".tmp-" in p.name] == []
+
 
 def _sliceable(tmp_path):
     """A tiny package: entry.py -> model.py, exporter.py outside."""

@@ -1,0 +1,184 @@
+"""Circuit breaker state machine, tick by tick on an injected clock."""
+
+import pytest
+
+from repro.serve import BreakerConfig, CircuitBreaker
+
+
+class FakeClock:
+    """Injectable monotonic clock: advances only when told to."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(threshold=3, reset=30.0, successes=1, limit=1):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            reset_timeout_s=reset,
+            probe_successes=successes,
+            probe_limit=limit,
+        ),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+def _trip(breaker, count):
+    for _ in range(count):
+        assert breaker.allow()
+        breaker.record_failure()
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        BreakerConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("failure_threshold", 0),
+        ("reset_timeout_s", 0.0),
+        ("reset_timeout_s", -1.0),
+        ("probe_successes", 0),
+        ("probe_limit", 0),
+    ])
+    def test_bad_knobs_are_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            BreakerConfig(**{field: value})
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = _breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.retry_after() == 0.0
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = _breaker(threshold=3)
+        _trip(breaker, 2)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        # 2 failures + success + 2 failures never reaches threshold 3:
+        # only *consecutive* failures trip.
+        breaker, _ = _breaker(threshold=3)
+        _trip(breaker, 2)
+        breaker.record_success()
+        assert breaker.snapshot()["consecutive_failures"] == 0
+        _trip(breaker, 2)
+        assert breaker.state == "closed"
+
+    def test_trips_exactly_at_threshold(self):
+        breaker, _ = _breaker(threshold=3)
+        _trip(breaker, 3)
+        assert breaker.state == "open"
+        assert breaker.snapshot()["opens"] == 1
+
+
+class TestOpen:
+    def test_open_refuses_admission(self):
+        breaker, _ = _breaker(threshold=1)
+        _trip(breaker, 1)
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_retry_after_counts_down_on_the_clock(self):
+        breaker, clock = _breaker(threshold=1, reset=30.0)
+        _trip(breaker, 1)
+        assert breaker.retry_after() == pytest.approx(30.0)
+        clock.advance(10.0)
+        assert breaker.retry_after() == pytest.approx(20.0)
+
+    def test_late_failures_do_not_restart_the_timer(self):
+        # Stragglers admitted before the trip settle while open; the
+        # reset timeout must still measure from the trip instant.
+        breaker, clock = _breaker(threshold=1, reset=30.0)
+        _trip(breaker, 1)
+        clock.advance(20.0)
+        breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+
+
+class TestHalfOpen:
+    def test_timeout_promotes_to_half_open(self):
+        breaker, clock = _breaker(threshold=1, reset=30.0)
+        _trip(breaker, 1)
+        clock.advance(29.9)
+        assert breaker.state == "open"
+        clock.advance(0.1)
+        assert breaker.state == "half-open"
+
+    def test_probe_slots_are_bounded(self):
+        breaker, clock = _breaker(threshold=1, reset=1.0, limit=2)
+        _trip(breaker, 1)
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots in flight
+        assert breaker.snapshot()["probes_in_flight"] == 2
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(threshold=1, reset=1.0, successes=1)
+        _trip(breaker, 1)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        snapshot = breaker.snapshot()
+        assert snapshot["consecutive_failures"] == 0
+        assert snapshot["probes_in_flight"] == 0
+
+    def test_multiple_probe_successes_required(self):
+        breaker, clock = _breaker(threshold=1, reset=1.0,
+                                  successes=2, limit=2)
+        _trip(breaker, 1)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "half-open"  # 1 of 2
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        breaker, clock = _breaker(threshold=1, reset=30.0)
+        _trip(breaker, 1)
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.snapshot()["opens"] == 2
+        assert breaker.retry_after() == pytest.approx(30.0)
+
+    def test_full_cycle_can_repeat(self):
+        breaker, clock = _breaker(threshold=2, reset=5.0)
+        for _ in range(2):
+            _trip(breaker, 2)
+            assert breaker.state == "open"
+            clock.advance(5.0)
+            assert breaker.allow()
+            breaker.record_success()
+            assert breaker.state == "closed"
+        assert breaker.snapshot()["opens"] == 2
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        breaker, _ = _breaker()
+        snapshot = breaker.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["state"] == "closed"
+        assert snapshot["opens"] == 0

@@ -23,11 +23,10 @@ from repro.paperdata import (
 from repro.analysis.render import ascii_table, percent, series_block
 from repro.caches import (
     direct_mapped_miss_rate,
-    proposed_dcache,
-    proposed_icache,
     set_assoc_miss_rate,
+    simulate_column_buffer,
 )
-from repro.common.params import CacheGeometry
+from repro.common.params import CacheGeometry, IntegratedDeviceParams
 from repro.common.rng import make_rng, split_rng
 from repro.common.units import KB
 from repro.gspn.models import ISSUE_TRANSITION, ProcessorNetParams, bank_ready_place
@@ -135,10 +134,10 @@ def figure7(trace_len: int = 120_000, seed: int = 1,
     """
     columns = ["proposed 8K/512B"] + [f"DM {s}K/32B" for s in CONVENTIONAL_I_SIZES]
     rows = {}
+    device = IntegratedDeviceParams()
     for name in names if names is not None else ALL_NAMES:
         trace = get_proxy(name).instruction_trace(trace_len, seed)
-        proposed = proposed_icache()
-        proposed.run(trace)
+        proposed = simulate_column_buffer(trace, device.icache_geometry)
         conv = [
             direct_mapped_miss_rate(trace.addresses, CacheGeometry(s * KB, 32, 1))
             for s in CONVENTIONAL_I_SIZES
@@ -158,12 +157,13 @@ def figure8(trace_len: int = 120_000, seed: int = 1,
         + ["2-way 16K/32B"]
     )
     rows = {}
+    device = IntegratedDeviceParams()
     for name in names if names is not None else ALL_NAMES:
         trace = get_proxy(name).data_trace(trace_len, seed)
-        plain = proposed_dcache(with_victim=False)
-        plain.run(trace)
-        vict = proposed_dcache(with_victim=True)
-        vict.run(trace)
+        plain = simulate_column_buffer(trace, device.dcache_geometry)
+        vict = simulate_column_buffer(
+            trace, device.dcache_geometry, victim=device.victim
+        )
         conv = [
             direct_mapped_miss_rate(trace.addresses, CacheGeometry(s * KB, 32, 1))
             for s in CONVENTIONAL_D_SIZES

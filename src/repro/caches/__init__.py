@@ -12,9 +12,17 @@ from repro.caches.column_buffer import (
     proposed_icache,
 )
 from repro.caches.fast import (
+    FastCacheResult,
+    TwoLevelFastResult,
+    column_buffer_fast,
+    column_buffer_fast_supported,
     direct_mapped_miss_flags,
     direct_mapped_miss_rate,
+    set_assoc_miss_flags,
     set_assoc_miss_rate,
+    simulate_column_buffer,
+    simulate_two_level,
+    two_level_fast,
     two_way_lru_miss_flags,
 )
 from repro.caches.hierarchy import (
@@ -35,18 +43,26 @@ __all__ = [
     "CacheStats",
     "ColumnBufferCache",
     "DirectMappedCache",
+    "FastCacheResult",
     "FullyAssociativeCache",
     "HierarchyStats",
     "ServiceLevel",
     "SetAssociativeCache",
+    "TwoLevelFastResult",
     "TwoLevelHierarchy",
     "VictimCache",
+    "column_buffer_fast",
+    "column_buffer_fast_supported",
     "conventional_hierarchies",
     "direct_mapped_miss_flags",
     "direct_mapped_miss_rate",
     "iter_trace",
     "proposed_dcache",
     "proposed_icache",
+    "set_assoc_miss_flags",
     "set_assoc_miss_rate",
+    "simulate_column_buffer",
+    "simulate_two_level",
+    "two_level_fast",
     "two_way_lru_miss_flags",
 ]

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.address import line_address, set_index, tag_of
+from repro.common.errors import ConfigError
 from repro.common.params import CacheGeometry, IntegratedDeviceParams
+from repro.common.units import is_power_of_two
 from repro.caches.base import Cache
 from repro.caches.victim import VictimCache
 
@@ -36,6 +38,12 @@ class ColumnBufferCache(Cache):
 
     A victim hit counts as a cache hit in the statistics (both cost one
     cycle, Table 6); ``main_hits`` / ``victim_hits`` split them apart.
+    On a victim hit the column buffer is *not* refilled (line-size
+    disparity, Section 5.4), and a write served from the victim buffer
+    marks the victim block dirty — its eventual departure from the
+    buffer counts a writeback there (``victim.writebacks``), separate
+    from the column writebacks in ``stats.writebacks``;
+    ``total_writebacks`` sums both.
     """
 
     def __init__(
@@ -46,6 +54,14 @@ class ColumnBufferCache(Cache):
         on_evict_line=None,
     ) -> None:
         super().__init__()
+        if not is_power_of_two(sub_block_bytes):
+            raise ConfigError(
+                f"sub-block size {sub_block_bytes} must be a power of two"
+            )
+        if sub_block_bytes > geometry.line_bytes:
+            raise ConfigError(
+                "sub-block size cannot exceed the line (column) size"
+            )
         self.geometry = geometry
         self.victim = victim
         self.sub_block_bytes = sub_block_bytes
@@ -72,9 +88,11 @@ class ColumnBufferCache(Cache):
                     lines.append(lines.pop(pos))
                 self.main_hits += 1
                 return True
-        if self.victim is not None and self.victim.probe(addr):
+        if self.victim is not None and self.victim.probe(addr, write):
             # Served from the victim buffer; the column buffer is NOT
-            # refilled (line-size disparity, Section 5.4).
+            # refilled (line-size disparity, Section 5.4).  The probe
+            # records write-dirtiness victim-side: the buffer now holds
+            # the only copy of the modified sub-block.
             self.victim_hits += 1
             self.last_hit_was_victim = True
             return True
@@ -85,6 +103,9 @@ class ColumnBufferCache(Cache):
             if evicted.dirty:
                 self.stats.writebacks += 1
             if self._on_evict_line is not None:
+                # Exact inverse of set_index/tag_of: CacheGeometry
+                # guarantees power-of-two line_bytes and num_sets, so
+                # (n - 1).bit_length() is their exact bit width.
                 bits_line = (self._line - 1).bit_length()
                 bits_set = (self._num_sets - 1).bit_length()
                 evicted_addr = (evicted.tag << (bits_line + bits_set)) | (
@@ -102,8 +123,23 @@ class ColumnBufferCache(Cache):
         tag = tag_of(addr, self._line, self._num_sets)
         return any(line.tag == tag for line in self._sets[index])
 
+    @property
+    def total_writebacks(self) -> int:
+        """Column writebacks plus victim-buffer writebacks."""
+        victim_wb = self.victim.writebacks if self.victim is not None else 0
+        return self.stats.writebacks + victim_wb
+
     def resident_lines(self) -> list[int]:
-        """Byte addresses of resident column-buffer lines."""
+        """Byte addresses of resident column-buffer lines.
+
+        The reconstruction ``(tag << (bits_line + bits_set)) |
+        (index << bits_line)`` is the exact inverse of
+        :func:`~repro.common.address.set_index` /
+        :func:`~repro.common.address.tag_of` because
+        :class:`~repro.common.params.CacheGeometry` rejects
+        non-power-of-two line sizes and set counts (see the
+        address-roundtrip tests).
+        """
         bits_line = (self._line - 1).bit_length()
         bits_set = (self._num_sets - 1).bit_length()
         out = []
@@ -117,6 +153,9 @@ class ColumnBufferCache(Cache):
         self._sets = [[] for _ in range(self._num_sets)]
         self.main_hits = 0
         self.victim_hits = 0
+        # A stale True here would be observable (e.g. by the MP node's
+        # hit-level classification) before the first post-reset access.
+        self.last_hit_was_victim = False
         if self.victim is not None:
             self.victim.reset()
 

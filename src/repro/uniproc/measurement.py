@@ -9,14 +9,39 @@ service-level fractions as :class:`~repro.gspn.models.MemoryPathProbs`.
 Instruction and data references interleave in blocks sized by the
 proxy's instruction mix, so a shared second-level cache sees a realistic
 mixed stream.
+
+Both measurements dispatch onto the vectorized fast paths of
+:mod:`repro.caches.fast` when the cache configuration qualifies (every
+default configuration does): the integrated device's I- and D-caches
+are private, so each runs its full (wrap-reconstructed) stream through
+:func:`~repro.caches.fast.simulate_column_buffer` in one shot, and the
+conventional system computes both L1 miss-flag vectors first, then
+merges the two miss streams *in interleave order* into the single
+shared-L2 reference stream.  Block-by-block interleaving and whole-
+stream simulation are equivalent for the private caches because each
+cache simply sees its own references in time order; the shared L2 is
+the only point where the interleave matters, and the merge preserves
+it exactly.  ``engine="exact"`` forces the object-oriented simulators —
+the differential tests assert both engines produce identical
+:class:`MissRates`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import obs
+from repro.common import tally
 from repro.caches.column_buffer import proposed_dcache, proposed_icache
-from repro.caches.hierarchy import conventional_hierarchies
+from repro.caches.fast import (
+    ratio_from_flags,
+    column_buffer_fast,
+    column_buffer_fast_supported,
+    set_assoc_miss_flags,
+)
+from repro.caches.hierarchy import HierarchyStats, conventional_hierarchies
 from repro.common.params import ConventionalSystemParams, IntegratedDeviceParams
 from repro.gspn.models import MemoryPathProbs
 from repro.workloads.spec.model import SpecProxy
@@ -54,20 +79,56 @@ def _interleaved(proxy: SpecProxy, trace_len: int, seed: int):
             d_pos = 0
 
 
+def _concat_blocks(blocks):
+    """The interleaved blocks flattened back into per-cache streams.
+
+    Returns ``(i_addrs, i_writes, d_addrs, d_writes)``.  The instruction
+    stream is the original trace; the data stream reproduces the
+    wrap-around replay of :func:`_interleaved` exactly (the generator
+    restarts the data trace whenever it runs dry), so a private cache
+    consuming the concatenation sees the same references in the same
+    order as one consuming the blocks one by one.
+    """
+    i_addrs = np.concatenate([b.addresses for b, _ in blocks])
+    i_writes = np.concatenate([b.is_write for b, _ in blocks])
+    d_addrs = np.concatenate([d.addresses for _, d in blocks])
+    d_writes = np.concatenate([d.is_write for _, d in blocks])
+    return i_addrs, i_writes, d_addrs, d_writes
+
+
 def measure_integrated(
     proxy: SpecProxy,
     trace_len: int = 150_000,
     seed: int = 0,
     with_victim: bool = True,
     params: IntegratedDeviceParams | None = None,
+    engine: str = "auto",
 ) -> MissRates:
     """Miss rates on the proposed device's column-buffer caches."""
-    icache = proposed_icache(params)
-    dcache = proposed_dcache(params, with_victim=with_victim)
-    for i_block, d_block in _interleaved(proxy, trace_len, seed):
-        icache.run(i_block)
-        dcache.run(d_block)
-    istats, dstats = icache.stats, dcache.stats
+    params = params or IntegratedDeviceParams()
+    victim = params.victim if with_victim else None
+    blocks = list(_interleaved(proxy, trace_len, seed))
+    fast_ok = (
+        blocks
+        and column_buffer_fast_supported(params.icache_geometry)
+        and column_buffer_fast_supported(params.dcache_geometry, victim)
+    )
+    if engine != "exact" and fast_ok:
+        i_addrs, i_writes, d_addrs, d_writes = _concat_blocks(blocks)
+        with obs.span("cache/fast/column-buffer"):
+            ires = column_buffer_fast(i_addrs, i_writes, params.icache_geometry)
+            dres = column_buffer_fast(
+                d_addrs, d_writes, params.dcache_geometry, victim
+            )
+            tally.add("cache_refs", int(i_addrs.size + d_addrs.size))
+        istats, dstats = ires.stats, dres.stats
+    else:
+        icache = proposed_icache(params)
+        dcache = proposed_dcache(params, with_victim=with_victim)
+        for i_block, d_block in blocks:
+            icache.run(i_block)
+            dcache.run(d_block)
+        istats, dstats = icache.stats, dcache.stats
     return MissRates(
         ifetch=MemoryPathProbs(hit=istats.loads.hit_rate),
         load=MemoryPathProbs(hit=dstats.loads.hit_rate),
@@ -78,34 +139,90 @@ def measure_integrated(
     )
 
 
+def _conventional_fast(
+    blocks, params: ConventionalSystemParams
+) -> tuple[HierarchyStats, HierarchyStats]:
+    """Both hierarchies' stats via one vectorized pass per cache.
+
+    The L1s are private, so their miss flags come from whole-stream
+    passes; the shared L2 sees the two L1 miss streams merged block by
+    block in the exact order the object-oriented hierarchies would
+    issue them (instruction block first, then its data block).
+    """
+    i_addrs, i_writes, d_addrs, d_writes = _concat_blocks(blocks)
+    with obs.span("cache/fast/two-level"):
+        i_flags = set_assoc_miss_flags(i_addrs, params.l1i)
+        d_flags = set_assoc_miss_flags(d_addrs, params.l1d)
+        l2_parts: list[np.ndarray] = []
+        from_i: list[bool] = []
+        i_pos = d_pos = 0
+        for i_block, d_block in blocks:
+            n_i, n_d = len(i_block), len(d_block)
+            l2_parts.append(
+                i_addrs[i_pos : i_pos + n_i][i_flags[i_pos : i_pos + n_i]]
+            )
+            from_i.append(True)
+            l2_parts.append(
+                d_addrs[d_pos : d_pos + n_d][d_flags[d_pos : d_pos + n_d]]
+            )
+            from_i.append(False)
+            i_pos += n_i
+            d_pos += n_d
+        l2_addrs = np.concatenate(l2_parts)
+        l2_src_i = np.concatenate(
+            [np.full(part.size, src, dtype=bool)
+             for part, src in zip(l2_parts, from_i)]
+        )
+        l2_flags = set_assoc_miss_flags(l2_addrs, params.l2)
+        istats = HierarchyStats(
+            l1_loads=ratio_from_flags(i_flags[~i_writes]),
+            l1_stores=ratio_from_flags(i_flags[i_writes]),
+            l2=ratio_from_flags(l2_flags[l2_src_i]),
+        )
+        dstats = HierarchyStats(
+            l1_loads=ratio_from_flags(d_flags[~d_writes]),
+            l1_stores=ratio_from_flags(d_flags[d_writes]),
+            l2=ratio_from_flags(l2_flags[~l2_src_i]),
+        )
+        tally.add("cache_refs", int(i_addrs.size + d_addrs.size))
+    return istats, dstats
+
+
 def measure_conventional(
     proxy: SpecProxy,
     trace_len: int = 150_000,
     seed: int = 0,
     params: ConventionalSystemParams | None = None,
+    engine: str = "auto",
 ) -> MissRates:
     """Miss rates on the conventional split-L1 + shared-L2 reference."""
-    ihier, dhier = conventional_hierarchies(params)
-    for i_block, d_block in _interleaved(proxy, trace_len, seed):
-        ihier.run(i_block)
-        dhier.run(d_block)
+    params = params or ConventionalSystemParams()
+    blocks = list(_interleaved(proxy, trace_len, seed))
+    if engine != "exact" and blocks:
+        istats, dstats = _conventional_fast(blocks, params)
+    else:
+        ihier, dhier = conventional_hierarchies(params)
+        for i_block, d_block in blocks:
+            ihier.run(i_block)
+            dhier.run(d_block)
+        istats, dstats = ihier.stats, dhier.stats
 
     def probs(l1_hit: float, l2_among_misses: float) -> MemoryPathProbs:
         l2 = (1.0 - l1_hit) * l2_among_misses
         return MemoryPathProbs(hit=l1_hit, l2=min(l2, 1.0 - l1_hit))
 
-    i_l2 = ihier.stats.l2_local_hit_rate
-    d_l2 = dhier.stats.l2_local_hit_rate
+    i_l2 = istats.l2_local_hit_rate
+    d_l2 = dstats.l2_local_hit_rate
     return MissRates(
-        ifetch=probs(ihier.stats.l1_hit_rate, i_l2),
+        ifetch=probs(istats.l1_hit_rate, i_l2),
         load=probs(
-            dhier.stats.l1_loads.hit_rate if dhier.stats.l1_loads.total else 1.0,
+            dstats.l1_loads.hit_rate if dstats.l1_loads.total else 1.0,
             d_l2,
         ),
         store=probs(
-            dhier.stats.l1_stores.hit_rate if dhier.stats.l1_stores.total else 1.0,
+            dstats.l1_stores.hit_rate if dstats.l1_stores.total else 1.0,
             d_l2,
         ),
-        icache_miss_rate=ihier.stats.l1_miss_rate,
-        dcache_miss_rate=dhier.stats.l1_miss_rate,
+        icache_miss_rate=istats.l1_miss_rate,
+        dcache_miss_rate=dstats.l1_miss_rate,
     )

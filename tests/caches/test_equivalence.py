@@ -1,9 +1,11 @@
 """Cross-model equivalence properties between cache implementations."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.caches.column_buffer import ColumnBufferCache
+from repro.caches.fast import column_buffer_fast, set_assoc_miss_flags
 from repro.caches.set_assoc import SetAssociativeCache
 from repro.common.params import CacheGeometry
 
@@ -71,3 +73,30 @@ def test_writebacks_bounded_by_write_misses_plus_evictions(refs):
         writes += int(write)
     assert cache.stats.writebacks <= writes
     assert cache.stats.writebacks <= cache.stats.evictions
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    refs=st.lists(
+        st.tuples(st.integers(0, 1 << 16), st.booleans()),
+        min_size=1,
+        max_size=300,
+    ),
+    ways=st.sampled_from([1, 2, 4]),
+)
+def test_fast_column_buffer_without_victim_equals_set_assoc_flags(refs, ways):
+    """Without the victim coupling the column-buffer fast path reduces to
+    plain set-associative LRU, so three independent implementations —
+    the vectorized run-collapse engine, the per-set flag replay and the
+    object-oriented simulator — must produce the same miss flags."""
+    geometry = CacheGeometry(8 * ways * 512, 512, ways)
+    addrs = np.asarray([a for a, _ in refs], dtype=np.int64)
+    writes = np.asarray([w for _, w in refs], dtype=bool)
+    fast = column_buffer_fast(addrs, writes, geometry)
+    flags = set_assoc_miss_flags(addrs, geometry)
+    cache = SetAssociativeCache(geometry)
+    oracle = [not cache.access(a, w) for a, w in refs]
+    assert fast.miss_flags.tolist() == oracle
+    assert flags.tolist() == oracle
+    assert fast.stats.evictions == cache.stats.evictions
+    assert fast.stats.writebacks == cache.stats.writebacks

@@ -4,14 +4,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.caches.fast import (
+    _column_buffer_exact,
+    column_buffer_fast,
+    column_buffer_fast_supported,
     direct_mapped_miss_flags,
     direct_mapped_miss_rate,
+    set_assoc_miss_flags,
     set_assoc_miss_rate,
+    simulate_column_buffer,
+    simulate_two_level,
+    two_level_fast,
     two_way_lru_miss_flags,
 )
-from repro.caches.set_assoc import SetAssociativeCache
-from repro.common.params import CacheGeometry
+from repro.caches.hierarchy import TwoLevelHierarchy
+from repro.caches.set_assoc import FullyAssociativeCache, SetAssociativeCache
+from repro.common.params import CacheGeometry, VictimCacheParams
 from repro.common.units import KB
+from repro.trace.stream import ReferenceTrace
 
 
 def _reference_flags(addresses, geometry):
@@ -79,3 +88,177 @@ class TestDispatch:
         rate = set_assoc_miss_rate(np.asarray(addrs, dtype=np.int64), geom)
         flags = _reference_flags(addrs, geom)
         assert rate == pytest.approx(sum(flags) / len(flags))
+
+
+class TestSetAssocFlags:
+    def test_empty_trace(self):
+        geom = CacheGeometry(4 * KB, 32, 4)
+        assert set_assoc_miss_flags(np.zeros(0, dtype=np.int64), geom).size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 15), min_size=1, max_size=300))
+    def test_four_way_matches_reference(self, addrs):
+        geom = CacheGeometry(2 * KB, 32, 4)
+        flags = set_assoc_miss_flags(np.asarray(addrs, dtype=np.int64), geom)
+        assert flags.tolist() == _reference_flags(addrs, geom)
+
+    @settings(max_examples=40, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 13), min_size=1, max_size=300))
+    def test_fully_associative_matches_reference(self, addrs):
+        geom = CacheGeometry(512, 32, 0)  # 16-entry fully associative
+        arr = np.asarray(addrs, dtype=np.int64)
+        flags = set_assoc_miss_flags(arr, geom)
+        cache = FullyAssociativeCache(512, 32)
+        assert flags.tolist() == [not cache.access(a) for a in addrs]
+
+
+# Strategies for the column-buffer differential: mixes of sequential
+# bursts (runs collapse) and aliasing hot spots (victim feedback).
+_cb_refs = st.lists(
+    st.tuples(st.integers(0, 1 << 15), st.booleans()), min_size=1, max_size=250
+)
+_cb_geoms = st.sampled_from(
+    [
+        CacheGeometry(2 * 512, 512, 1),
+        CacheGeometry(8 * 512, 512, 1),
+        CacheGeometry(8 * 512, 512, 2),
+        CacheGeometry(16 * 512, 512, 4),
+        CacheGeometry(4 * 128, 128, 2),
+    ]
+)
+_cb_victims = st.sampled_from(
+    [
+        None,
+        VictimCacheParams(entries=1),
+        VictimCacheParams(entries=2),
+        VictimCacheParams(entries=16),
+        VictimCacheParams(entries=4, line_bytes=64),
+    ]
+)
+
+
+def _assert_results_identical(fast, exact):
+    assert fast.miss_flags.tolist() == exact.miss_flags.tolist()
+    assert fast.victim_hit_flags.tolist() == exact.victim_hit_flags.tolist()
+    assert fast.stats == exact.stats
+    assert fast.main_hits == exact.main_hits
+    assert fast.victim_hits == exact.victim_hits
+    assert fast.victim_probes == exact.victim_probes
+    assert fast.victim_inserts == exact.victim_inserts
+    assert fast.victim_writebacks == exact.victim_writebacks
+
+
+class TestColumnBufferDifferential:
+    """The vectorized engine against the object-oriented oracle, field
+    by field: miss flags, victim-hit flags, the full CacheStats, the
+    main/victim hit split and all victim counters."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(refs=_cb_refs, geometry=_cb_geoms, victim=_cb_victims)
+    def test_matches_oracle(self, refs, geometry, victim):
+        addrs = np.asarray([a for a, _ in refs], dtype=np.int64)
+        writes = np.asarray([w for _, w in refs], dtype=bool)
+        fast = column_buffer_fast(addrs, writes, geometry, victim)
+        exact = _column_buffer_exact(addrs, writes, geometry, victim, 32)
+        _assert_results_identical(fast, exact)
+
+    def test_empty_trace(self):
+        geom = CacheGeometry(8 * 512, 512, 1)
+        result = column_buffer_fast(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool), geom
+        )
+        assert result.miss_flags.size == 0
+        assert result.stats.accesses == 0
+
+    def test_thrash_with_victim_feedback(self):
+        # The canonical feedback case: aliasing hot words are absorbed
+        # by the victim buffer, so the column is never refilled and the
+        # main cache's contents depend on victim state.
+        geom = CacheGeometry(8 * 512, 512, 1)
+        addrs = np.asarray([0, 4096, 0, 4096] * 25, dtype=np.int64)
+        writes = np.zeros(addrs.size, dtype=bool)
+        victim = VictimCacheParams()
+        fast = column_buffer_fast(addrs, writes, geom, victim)
+        exact = _column_buffer_exact(addrs, writes, geom, victim, 32)
+        _assert_results_identical(fast, exact)
+        # Every repeat of the displaced hot word is served victim-side.
+        assert fast.victim_hits == 49
+
+    @settings(max_examples=30, deadline=None)
+    @given(refs=_cb_refs)
+    def test_run_collapse_handles_write_splits(self, refs):
+        # Load/store hit split within collapsed runs (prefix-sum path).
+        geom = CacheGeometry(2 * 512, 512, 2)
+        addrs = np.asarray([a % 2048 for a, _ in refs], dtype=np.int64)
+        writes = np.asarray([w for _, w in refs], dtype=bool)
+        fast = column_buffer_fast(addrs, writes, geom, None)
+        exact = _column_buffer_exact(addrs, writes, geom, None, 32)
+        _assert_results_identical(fast, exact)
+
+
+class TestSimulateColumnBuffer:
+    def _trace(self):
+        return ReferenceTrace.reads([0, 4096, 0, 512, 4096])
+
+    def test_engines_agree(self):
+        geom = CacheGeometry(8 * 512, 512, 1)
+        victim = VictimCacheParams()
+        auto = simulate_column_buffer(self._trace(), geom, victim)
+        exact = simulate_column_buffer(self._trace(), geom, victim, engine="exact")
+        _assert_results_identical(auto, exact)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            simulate_column_buffer(
+                self._trace(), CacheGeometry(8 * 512, 512, 1), engine="turbo"
+            )
+
+    def test_fast_engine_rejects_unsupported_config(self):
+        with pytest.raises(ValueError):
+            simulate_column_buffer(
+                self._trace(),
+                CacheGeometry(8 * 512, 512, 1),
+                sub_block_bytes=48,
+                engine="fast",
+            )
+
+    def test_supported_predicate(self):
+        geom = CacheGeometry(8 * 512, 512, 1)
+        assert column_buffer_fast_supported(geom)
+        assert column_buffer_fast_supported(geom, VictimCacheParams())
+        assert not column_buffer_fast_supported(geom, sub_block_bytes=48)
+        assert not column_buffer_fast_supported(geom, sub_block_bytes=1024)
+
+
+class TestTwoLevelDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        refs=st.lists(
+            st.tuples(st.integers(0, 1 << 16), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_matches_hierarchy(self, refs):
+        l1 = CacheGeometry(2 * KB, 32, 2)
+        l2 = CacheGeometry(8 * KB, 64, 4)
+        trace = ReferenceTrace.from_pairs(refs)
+        fast_stats = simulate_two_level(trace, l1, l2)
+        exact_stats = simulate_two_level(trace, l1, l2, engine="exact")
+        assert fast_stats == exact_stats
+
+    def test_l2_stream_is_l1_miss_stream(self):
+        l1 = CacheGeometry(1 * KB, 32, 1)
+        l2 = CacheGeometry(4 * KB, 32, 2)
+        addrs = np.asarray([0, 32, 0, 1024, 0, 1024], dtype=np.int64)
+        result = two_level_fast(addrs, l1, l2)
+        assert result.l2_miss_flags.size == int(result.l1_miss_flags.sum())
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            simulate_two_level(
+                ReferenceTrace.reads([0]),
+                CacheGeometry(1 * KB, 32, 1),
+                CacheGeometry(4 * KB, 32, 2),
+                engine="turbo",
+            )

@@ -57,6 +57,149 @@ class TestVictimCache:
         assert not victim.contains(0)
 
 
+class TestVictimEdgeCases:
+    """The Section 5.4 buffer's corner behaviour, pinned reference by
+    reference — these are the cases the fast path must reproduce."""
+
+    def test_insert_of_resident_block_does_not_evict(self):
+        victim = VictimCache(VictimCacheParams(entries=2))
+        victim.insert(0)
+        victim.insert(32)
+        victim.insert(0)  # refresh in place: 32 must survive
+        assert victim.contains(0)
+        assert victim.contains(32)
+        assert len(victim.resident_blocks()) == 2
+
+    def test_insert_of_resident_block_promotes_to_mru(self):
+        victim = VictimCache(VictimCacheParams(entries=2))
+        victim.insert(0)
+        victim.insert(32)
+        victim.insert(0)  # 0 becomes MRU, 32 becomes LRU
+        victim.insert(64)  # evicts 32
+        assert victim.contains(0)
+        assert not victim.contains(32)
+
+    def test_probe_promotion_reorders_lru(self):
+        victim = VictimCache(VictimCacheParams(entries=3))
+        for addr in (0, 32, 64):
+            victim.insert(addr)
+        victim.probe(0)  # LRU order is now 32, 64, 0
+        assert victim.resident_blocks() == [32, 64, 0]
+        victim.insert(96)  # evicts 32
+        assert victim.resident_blocks() == [64, 0, 96]
+
+    def test_failed_probe_does_not_reorder(self):
+        victim = VictimCache(VictimCacheParams(entries=2))
+        victim.insert(0)
+        victim.insert(32)
+        victim.probe(1024)  # miss: order untouched
+        assert victim.resident_blocks() == [0, 32]
+
+    def test_invalidate_drops_block(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.insert(32)
+        victim.invalidate(0x1F)  # any address inside block 0
+        assert not victim.contains(0)
+        assert victim.contains(32)
+
+    def test_invalidate_absent_block_is_noop(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.invalidate(4096)
+        assert victim.contains(0)
+        assert victim.writebacks == 0
+
+
+class TestDirtyAccounting:
+    """A write served from the buffer modifies the only copy of the data
+    (victim contents are never reloaded into the main cache), so the
+    dirty copy must be written back when it leaves the buffer."""
+
+    def test_write_probe_marks_dirty(self):
+        victim = VictimCache()
+        victim.insert(0)
+        assert not victim.is_dirty(0)
+        victim.probe(4, write=True)
+        assert victim.is_dirty(0)  # whole 32 B block
+
+    def test_read_probe_leaves_clean(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(4, write=False)
+        assert not victim.is_dirty(0)
+
+    def test_lru_eviction_of_dirty_block_counts_writeback(self):
+        victim = VictimCache(VictimCacheParams(entries=1))
+        victim.insert(0)
+        victim.probe(0, write=True)
+        victim.insert(32)  # evicts dirty block 0
+        assert victim.writebacks == 1
+        assert not victim.contains(0)
+
+    def test_lru_eviction_of_clean_block_is_free(self):
+        victim = VictimCache(VictimCacheParams(entries=1))
+        victim.insert(0)
+        victim.insert(32)
+        assert victim.writebacks == 0
+
+    def test_invalidate_of_dirty_block_counts_writeback(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0, write=True)
+        victim.invalidate(0)
+        assert victim.writebacks == 1
+
+    def test_reinsert_supersedes_dirty_copy(self):
+        # A fresh capture of the same block rides the evicted column's
+        # own writeback, so the superseded modified copy merges out
+        # (one victim writeback) and the new copy starts clean.
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0, write=True)
+        victim.insert(0)
+        assert victim.writebacks == 1
+        assert not victim.is_dirty(0)
+
+    def test_dirty_block_still_resident_is_not_counted(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0, write=True)
+        assert victim.writebacks == 0  # counted only on departure
+
+    def test_reset_clears_dirty_state(self):
+        victim = VictimCache()
+        victim.insert(0)
+        victim.probe(0, write=True)
+        victim.reset()
+        assert victim.writebacks == 0
+        victim.insert(0)
+        victim.invalidate(0)  # the pre-reset dirty bit must not survive
+        assert victim.writebacks == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "read", "write"]),
+                  st.integers(0, 1 << 10)),
+        max_size=200,
+    )
+)
+def test_writebacks_bounded_by_write_hits(ops):
+    """Only a write hit can dirty a block, and each dirty copy is written
+    back at most once, so writebacks never exceed write hits."""
+    victim = VictimCache(VictimCacheParams(entries=4))
+    write_hits = 0
+    for op, addr in ops:
+        if op == "insert":
+            victim.insert(addr)
+        else:
+            if victim.probe(addr, write=(op == "write")) and op == "write":
+                write_hits += 1
+        assert victim.writebacks <= write_hits
+
+
 @settings(max_examples=50, deadline=None)
 @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 1 << 12)), max_size=200))
 def test_never_exceeds_capacity(ops):

@@ -46,3 +46,34 @@ class TestMeasureConventional:
         rates = measure_conventional(get_proxy("107.mgrid"), TRACE_LEN)
         # mgrid streams: conventional 16 KB caches miss a few percent.
         assert 0.005 < rates.dcache_miss_rate < 0.2
+
+
+class TestEngineEquivalence:
+    """The vectorized measurement path must be bit-identical to the
+    object-oriented simulators — same MissRates, not just close ones.
+    (The default engine="auto" takes the fast path for every default
+    configuration, so these comparisons exercise it.)"""
+
+    @pytest.mark.parametrize("name", ["126.gcc", "101.tomcatv"])
+    def test_integrated_engines_identical(self, name):
+        proxy = get_proxy(name)
+        fast = measure_integrated(proxy, TRACE_LEN, seed=3)
+        exact = measure_integrated(proxy, TRACE_LEN, seed=3, engine="exact")
+        assert fast == exact
+
+    def test_integrated_without_victim_identical(self):
+        proxy = get_proxy("129.compress")
+        fast = measure_integrated(proxy, TRACE_LEN, with_victim=False)
+        exact = measure_integrated(proxy, TRACE_LEN, with_victim=False,
+                                   engine="exact")
+        assert fast == exact
+
+    @pytest.mark.parametrize("name", ["134.perl", "107.mgrid"])
+    def test_conventional_engines_identical(self, name):
+        """The shared L2 sees the two L1 miss streams merged in exact
+        interleave order; any drift from the block-by-block replay shows
+        up here."""
+        proxy = get_proxy(name)
+        fast = measure_conventional(proxy, TRACE_LEN, seed=7)
+        exact = measure_conventional(proxy, TRACE_LEN, seed=7, engine="exact")
+        assert fast == exact

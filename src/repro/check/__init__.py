@@ -1,6 +1,6 @@
 """repro.check: static verification of the paper's model layers.
 
-``python -m repro check`` runs five passes, each guarding a different
+``python -m repro check`` runs six passes, each guarding a different
 pillar of the evaluation *before* any simulation happens (and before a
 silent model bug can poison the content-addressed result cache):
 
@@ -41,6 +41,16 @@ silent model bug can poison the content-addressed result cache):
   parameter, a seconds↔cycles boundary missing
   ``cycles_for_time``/``time_for_cycles``) is an error with a
   call-chain witness from a registered entry point.
+- ``races`` (:mod:`repro.check.races`, also on the call graph) —
+  static race detection over the repo's *own* concurrency (the serve
+  subsystem's ThreadingHTTPServer, worker threads, token buckets and
+  circuit breaker, and the SIGTERM→journal bridge): thread roots are
+  discovered from ``threading.Thread`` targets, ``do_*`` HTTP handler
+  methods and ``signal.signal`` handlers; shared attributes get their
+  guarding lock inferred as the intersection of locksets at their
+  write sites (Eraser-style); unguarded accesses, disjoint guards,
+  lock-order inversions and non-reentrant work in signal handlers are
+  errors with ``[thread root]``-rooted witnesses.
 
 This ``__init__`` deliberately re-exports nothing: the runner's
 fingerprint slicer imports :mod:`repro.check.callgraph`, which executes

@@ -42,9 +42,10 @@ guards nothing) is an ``unknown-suppression`` warning, and a lint-rule
 suppression on a line where that rule finds nothing is an
 ``unused-suppression`` warning, so stale exemptions cannot linger after
 the code they excused is gone.  The rule namespace spans this pass, the
-``deps`` pass (:data:`repro.check.deps.DEPS_RULES`) and the ``units``
-pass (:data:`repro.check.units.UNITS_RULES`), whose findings honour the
-same comments; each pass polices unused suppressions of its own rules.
+``deps`` pass (:data:`repro.check.deps.DEPS_RULES`), the ``units`` pass
+(:data:`repro.check.units.UNITS_RULES`) and the ``races`` pass
+(:data:`repro.check.races.RACES_RULES`), whose findings honour the same
+comments; each pass polices unused suppressions of its own rules.
 """
 
 from __future__ import annotations
@@ -73,10 +74,12 @@ META_RULES: tuple[str, ...] = ("unknown-suppression", "unused-suppression")
 def _known_rules() -> frozenset[str]:
     """Every rule an allow-comment may legitimately name."""
     from repro.check.deps import DEPS_RULES  # deps imports us; keep lazy
+    from repro.check.races import RACES_RULES  # races imports us; keep lazy
     from repro.check.units import UNITS_RULES  # units imports us; keep lazy
 
     return (frozenset(LINT_RULES) | frozenset(DEPS_RULES)
-            | frozenset(UNITS_RULES) | frozenset(META_RULES))
+            | frozenset(UNITS_RULES) | frozenset(RACES_RULES)
+            | frozenset(META_RULES))
 
 # numpy.random attributes that are *not* module-level state.
 _NP_RANDOM_OK = {"Generator", "default_rng", "SeedSequence", "BitGenerator",
@@ -382,10 +385,10 @@ def lint_source(
                 # suppressions cannot be judged unused here.
                 continue
             elif rule in LINT_RULES and (lineno, rule) not in flagged:
-                # Deps- and units-pass rules are judged by their own
-                # passes (they suppress interprocedural findings this
-                # linter cannot see), so only lint rules can be called
-                # unused here.
+                # Deps-, units- and races-pass rules are judged by
+                # their own passes (they suppress interprocedural
+                # findings this linter cannot see), so only lint rules
+                # can be called unused here.
                 findings.append(Finding(
                     "lints", "unused-suppression", "warning",
                     f"{path}:{lineno}",

@@ -175,12 +175,12 @@ def since(position: int) -> list[SpanRecord]:
 def rollback(position: int) -> None:
     """Drop every record appended after ``position`` — used to erase the
     spans of a failed inline attempt so a retry cannot double-count."""
-    del _records[position:]
+    del _records[position:]  # repro: allow(race-unguarded) — the tracer is single-threaded by contract (module docstring); serve threads never reach rollback with tracing enabled, so this truncation only runs in the one-threaded runner
 
 
 def absorb(records: list[SpanRecord]) -> None:
     """Merge records collected in another process into this one's list."""
-    _records.extend(records)
+    _records.extend(records)  # repro: allow(race-unguarded) — single atomic append under the GIL; concurrent absorbers interleave whole batches, which the rollup tolerates (records carry their own timestamps)
 
 
 def records() -> list[SpanRecord]:

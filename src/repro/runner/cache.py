@@ -83,6 +83,10 @@ class ResultCache:
         self.fingerprint = fingerprint or code_fingerprint(package_root)
         self.slicing = slicing
         self._slices: dict[str, tuple[str, str]] = {}
+        # The slice memo is hit from every serve handler thread (key)
+        # and every worker (store); the slicer behind a miss is a whole
+        # call-graph build, so the guard also stops duplicate computes.
+        self._slices_lock = threading.Lock()
 
     def fingerprint_for(self, entry: str | None) -> tuple[str, str]:
         """``(digest, kind)`` keying entries for ``entry``.
@@ -96,18 +100,19 @@ class ResultCache:
         """
         if not self.slicing or entry is None:
             return self.fingerprint, "tree"
-        if entry not in self._slices:
-            from repro.runner.fingerprint import slice_fingerprint
+        with self._slices_lock:
+            if entry not in self._slices:
+                from repro.runner.fingerprint import slice_fingerprint
 
-            try:
-                sliced = slice_fingerprint(entry, root=self.package_root)
-            except Exception:  # repro: allow(broad-except) — never let the slicer break caching; fall back to the safe whole-tree key
-                sliced = None
-            if sliced is not None and sliced.kind == "slice":
-                self._slices[entry] = (sliced.digest, "slice")
-            else:
-                self._slices[entry] = (self.fingerprint, "tree")
-        return self._slices[entry]
+                try:
+                    sliced = slice_fingerprint(entry, root=self.package_root)
+                except Exception:  # repro: allow(broad-except) — never let the slicer break caching; fall back to the safe whole-tree key
+                    sliced = None
+                if sliced is not None and sliced.kind == "slice":
+                    self._slices[entry] = (sliced.digest, "slice")
+                else:
+                    self._slices[entry] = (self.fingerprint, "tree")
+            return self._slices[entry]
 
     def key(self, call_id: str, kwargs: dict[str, Any],
             entry: str | None = None) -> str:

@@ -27,12 +27,17 @@ for tests and long-lived embedders that want a hard reset.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 # digest caches keyed by (root, tree-state); see _tree_state().
 _CACHE: dict[tuple, str] = {}
 _SLICE_CACHE: dict[tuple, "SliceFingerprint"] = {}
+# Both memos are hit by the serve daemon's handler and worker threads;
+# the lock covers lookups and stores only — digesting runs outside it,
+# so a concurrent miss may compute twice but always stores equal values.
+_MEMO_LOCK = threading.Lock()
 
 # Files hashed into every slice as a version salt: a change to the
 # slicer itself (graph construction or this module) must invalidate
@@ -93,14 +98,15 @@ def _tree_state(sources: list[tuple[str, Path]]) -> tuple:
 
 def invalidate(root: Path | None = None) -> None:
     """Drop memoized digests (for ``root``, or all roots when None)."""
-    if root is None:
-        _CACHE.clear()
-        _SLICE_CACHE.clear()
-        return
-    root = _package_root(root)
-    for memo in (_CACHE, _SLICE_CACHE):
-        for key in [k for k in memo if k[0] == root]:
-            del memo[key]
+    with _MEMO_LOCK:
+        if root is None:
+            _CACHE.clear()
+            _SLICE_CACHE.clear()
+            return
+        root = _package_root(root)
+        for memo in (_CACHE, _SLICE_CACHE):
+            for key in [k for k in memo if k[0] == root]:
+                del memo[key]
 
 
 def _digest_files(entries: list[tuple[str, Path]]) -> str:
@@ -124,11 +130,15 @@ def code_fingerprint(root: Path | None = None, *, use_cache: bool = True) -> str
     root = _package_root(root)
     sources = _tracked_sources(root)
     key = (root, _tree_state(sources)) if use_cache else None
-    if key is not None and key in _CACHE:
-        return _CACHE[key]
+    if key is not None:
+        with _MEMO_LOCK:
+            cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
     value = _digest_files(sources)
     if key is not None:
-        _CACHE[key] = value
+        with _MEMO_LOCK:
+            _CACHE[key] = value
     return value
 
 
@@ -182,8 +192,11 @@ def slice_fingerprint(entry: str, root: Path | None = None, *,
                         f"'{package}'", use_cache=use_cache)
     sources = _tracked_sources(root)
     key = (root, _tree_state(sources), entry) if use_cache else None
-    if key is not None and key in _SLICE_CACHE:
-        return _SLICE_CACHE[key]
+    if key is not None:
+        with _MEMO_LOCK:
+            cached = _SLICE_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     from repro.check.callgraph import build_callgraph, canonicalize
 
@@ -226,5 +239,6 @@ def slice_fingerprint(entry: str, root: Path | None = None, *,
                 modules=tuple(sorted(slice_modules)),
             )
     if key is not None:
-        _SLICE_CACHE[key] = result
+        with _MEMO_LOCK:
+            _SLICE_CACHE[key] = result
     return result

@@ -22,7 +22,13 @@ from typing import Callable
 
 
 class TokenBucket:
-    """Classic leaky/token bucket: ``burst`` capacity, ``rate`` refill."""
+    """Classic leaky/token bucket: ``burst`` capacity, ``rate`` refill.
+
+    Deliberately has no lock of its own: every mutation happens inside
+    :class:`RateLimiter`'s critical section, the bucket's sole owner
+    (external synchronization, verified by ``check --only races`` —
+    the ``_tokens``/``_updated`` writes all carry the limiter's lock).
+    """
 
     def __init__(self, rate: float, burst: float, *,
                  clock: Callable[[], float] = time.monotonic) -> None:  # repro: allow(wall-clock) — bucket refill pacing, injectable for tests

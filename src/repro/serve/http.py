@@ -96,13 +96,16 @@ class ServeHandler(BaseHTTPRequestHandler):
         if path == "/metrics":
             self._reply(200, self.service.service_summary())
             return
-        for prefix, fn in (("/status/", self.service.status),
-                           ("/result/", self.service.result)):
-            if path.startswith(prefix):
-                job_id = path[len(prefix):]
-                status, body = fn(job_id)
-                self._reply(status, body)
-                return
+        # Direct dispatch (not a prefix→callable table) so the races
+        # pass can follow status/result from this handler thread root.
+        if path.startswith("/status/"):
+            status, body = self.service.status(path[len("/status/"):])
+            self._reply(status, body)
+            return
+        if path.startswith("/result/"):
+            status, body = self.service.result(path[len("/result/"):])
+            self._reply(status, body)
+            return
         self._reply(404, {"error": f"unknown endpoint {self.path!r}"})
 
 

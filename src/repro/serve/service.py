@@ -354,11 +354,13 @@ class SimulationService:
                                     key=key, extra={"request": dict(request)})
             self._queue.append(job)
             self._have_work.notify()
-            queue_depth = len(self._queue)
+            # Capture the public view before leaving the lock: the job
+            # is published now, and a worker may already be settling it.
+            body = job.public(len(self._queue))
 
         self._count("enqueued")
         self._emit_span("serve/enqueued", t0)
-        return 202, job.public(queue_depth), {}
+        return 202, body, {}
 
     # -- queries ----------------------------------------------------------
 
@@ -367,22 +369,28 @@ class SimulationService:
             return self._jobs.get(job_id)
 
     def status(self, job_id: str) -> tuple[int, dict]:
-        job = self.job(job_id)
-        if job is None:
-            return 404, {"error": f"unknown job {job_id!r}"}
+        # The snapshot (public view + queue depth) is taken in one lock
+        # scope: a worker settling this job concurrently must not tear
+        # the status/failure/attempts triple mid-read.
         with self._lock:
-            depth = len(self._queue)
-        return 200, job.public(depth)
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            return 200, job.public(len(self._queue))
 
     def result(self, job_id: str) -> tuple[int, dict]:
-        job = self.job(job_id)
-        if job is None:
-            return 404, {"error": f"unknown job {job_id!r}"}
-        if job.status not in TERMINAL_STATES:
-            return 202, job.public()
-        body = job.public()
-        if job.status == JOB_DONE:
-            body["result"] = _jsonable(job.result)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            status = job.status
+            body = job.public()
+            result = job.result
+        if status not in TERMINAL_STATES:
+            return 202, body
+        if status == JOB_DONE:
+            # Serialization can import and render; keep it off the lock.
+            body["result"] = _jsonable(result)
         return 200, body
 
     def health(self) -> tuple[int, dict]:
@@ -454,10 +462,12 @@ class SimulationService:
             try:
                 self._execute_job(job)
             except BaseException as exc:  # repro: allow(broad-except) — a worker thread must survive anything; the job is settled as quarantined
+                # The failure dict omits "attempts": _settle fills it
+                # from the job under the lock.
                 self._settle(job, JOB_QUARANTINED, failure={
                     "label": job.task.label, "kind": "exception",
                     "error_type": type(exc).__name__, "message": str(exc),
-                    "attempts": job.attempts, "worker": os.getpid(),
+                    "worker": os.getpid(),
                 })
 
     def _execute_job(self, job: Job) -> None:
@@ -471,8 +481,8 @@ class SimulationService:
                     "label": job.task.label, "kind": "deadline",
                     "error_type": "DeadlineExceeded",
                     "message": "deadline expired while queued",
-                    "attempts": 0, "worker": os.getpid(),
-                })
+                    "worker": os.getpid(),
+                }, attempts=0)
                 return
             timeout = remaining if timeout is None else min(timeout, remaining)
         policy = SupervisionPolicy(
@@ -486,7 +496,6 @@ class SimulationService:
             jobs=2 if self.config.isolate else 1,
             policy=policy, faults=self.faults,
         )
-        job.attempts = outcome.attempts
         if outcome.ok:
             result, wall, tallies, worker = outcome.result
             digest, kind = self.cache.fingerprint_for(job.task.entry_point())
@@ -498,27 +507,43 @@ class SimulationService:
                 "wall_s": wall,
                 "tallies": tallies,
             })
-            job.result = result
-            self._settle(job, JOB_DONE)
+            self._settle(job, JOB_DONE, result=result,
+                         attempts=outcome.attempts)
         else:
             failure = outcome.failure
             assert failure is not None
-            self._settle(job, JOB_QUARANTINED, failure=failure.to_json())
+            self._settle(job, JOB_QUARANTINED, failure=failure.to_json(),
+                         attempts=outcome.attempts)
         self._record_latency("miss", t0)
         self._emit_span(f"serve/execute/{job.task.label}", t0)
 
-    def _settle(self, job: Job, status: str,
-                failure: dict | None = None) -> None:
-        job.status = status
-        job.failure = failure
-        job.finished_at = self._clock()
+    def _settle(self, job: Job, status: str, failure: dict | None = None,
+                result: Any = None, attempts: int | None = None) -> None:
+        """Publish a job's terminal state.
+
+        Every Job field write happens under the service lock — handler
+        threads, other workers, and drain read these fields concurrently
+        (``check --only races`` verifies the guard) — while the journal,
+        breaker, and counters, which take their own locks, are called
+        outside it so the acquisition order stays acyclic.  ``settled``
+        fires last, once the terminal state is visible.
+        """
         with self._lock:
+            if attempts is not None:
+                job.attempts = attempts
+            if failure is not None:
+                failure.setdefault("attempts", job.attempts)
+            job.status = status
+            job.failure = failure
+            job.result = result
+            job.finished_at = self._clock()
             self._inflight.pop(job.key, None)
+            journal_attempts = max(1, job.attempts)
         if self.journal is not None:
             journal_status = (STATUS_DONE if status == JOB_DONE
                               else STATUS_QUARANTINED)
             self.journal.record(job.task.label, status=journal_status,
-                                key=job.key, attempts=max(1, job.attempts))
+                                key=job.key, attempts=journal_attempts)
         if status == JOB_DONE:
             self.breaker.record_success()
             self._count("completed")

@@ -20,7 +20,7 @@ class TestSelection:
 
     def test_skip_removes(self):
         selected, _ = select_passes(None, "gspn")
-        assert selected == ["protocol", "lints", "deps", "units"]
+        assert selected == ["protocol", "lints", "deps", "units", "races"]
 
     def test_unknown_names_reported_not_ignored(self):
         _, unknown = select_passes("protocol,nosuch", "bogus")
@@ -32,10 +32,10 @@ class TestMain:
         assert main(["--only", "nosuch"]) == 2
         err = capsys.readouterr().err
         assert "unknown pass(es): nosuch" in err
-        assert "known: protocol, gspn, lints, deps, units" in err
+        assert "known: protocol, gspn, lints, deps, units, races" in err
 
     def test_empty_selection_exits_2(self, capsys):
-        assert main(["--skip", "protocol,gspn,lints,deps,units"]) == 2
+        assert main(["--skip", "protocol,gspn,lints,deps,units,races"]) == 2
         assert "selection is empty" in capsys.readouterr().err
 
     def test_json_format_parses(self, capsys):

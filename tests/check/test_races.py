@@ -1,0 +1,299 @@
+"""The races pass: thread roots, lockset verdicts, mutant fixtures.
+
+The discipline mirrors the protocol checker's tests: the shipped tree
+must verify clean, and *mutants* — the same toy service with one
+concurrency bug introduced — must each produce the named finding with
+a witness chain rooted at a thread root.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.check.races import RACES_RULES, check_races
+
+SVC_ENTRIES = {"toy": "pkg.svc.run"}
+
+# A miniature of the serve layer: one lock-guarded counter, a worker
+# thread started from `start`, and a main-root `poke`.  `{worker_body}`
+# and `{poke_body}` are the mutation points.
+_SVC_TEMPLATE = """
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._other = threading.Lock()
+            self.count = 0
+
+        def start(self):
+            worker = threading.Thread(target=self._worker)
+            worker.start()
+
+        def _worker(self):
+{worker_body}
+
+        def poke(self):
+{poke_body}
+
+    def run(svc: Service) -> None:
+        svc.start()
+        svc.poke()
+"""
+
+
+def _svc_source(worker_body: str, poke_body: str) -> str:
+    return _SVC_TEMPLATE.format(
+        worker_body=textwrap.indent(textwrap.dedent(worker_body), " " * 12),
+        poke_body=textwrap.indent(textwrap.dedent(poke_body), " " * 12),
+    )
+
+
+def _pkg(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").touch()
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def _run(tmp_path, files, entries):
+    return check_races(_pkg(tmp_path, files), entry_points=entries)
+
+
+def _rules(result, severity=None):
+    return [f.rule for f in result.findings
+            if severity is None or f.severity == severity]
+
+
+class TestCleanFixtures:
+    def test_consistently_guarded_counter_is_clean(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    self.count += 1",
+            "with self._lock:\n    self.count += 1",
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert result.findings == []
+        assert result.info["thread_roots"] == 1
+
+    def test_event_and_queue_fields_are_whitelisted(self, tmp_path):
+        source = """
+            import queue
+            import threading
+
+            class Pipe:
+                def __init__(self):
+                    self.ready = threading.Event()
+                    self.items = queue.Queue()
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    self.items.put(1)
+                    self.ready.set()
+
+            def run(pipe: Pipe) -> None:
+                pipe.start()
+                pipe.items.put(2)
+                pipe.ready.set()
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert result.findings == []
+
+    def test_lock_free_code_without_lock_evidence_stays_silent(
+            self, tmp_path):
+        # Per-thread partitioned tallies (the loadtest idiom): writes
+        # from two roots but no lock anywhere near — not reported as
+        # unguarded, because there is no locking discipline to violate.
+        source = """
+            import threading
+
+            class Tally:
+                def __init__(self):
+                    self.hits = 0
+
+            def bump(tally: Tally) -> None:
+                tally.hits += 1
+
+            def run(tally: Tally) -> None:
+                threading.Thread(target=bump, args=(tally,)).start()
+                bump(tally)
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result, "error") == []
+
+
+class TestMutants:
+    def test_deleted_with_block_is_race_unguarded(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    self.count += 1",
+            "self.count += 1",  # the guard was deleted here
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result, "error") == ["race-unguarded"]
+        [finding] = [f for f in result.findings if f.severity == "error"]
+        assert "pkg.svc.Service.count" in finding.message
+        assert "pkg.svc.Service._lock" in finding.message
+        # The witness is rooted at a thread root and ends at the access.
+        assert "[thread root:" in finding.trace[0]
+        assert "lockset {}" in finding.trace[-1]
+
+    def test_different_lock_per_site_is_race_guard_mix(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    self.count += 1",
+            "with self._other:\n    self.count += 1",
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result, "error") == ["race-guard-mix"]
+        [finding] = [f for f in result.findings if f.severity == "error"]
+        assert "pkg.svc.Service._lock" in finding.message
+        assert "pkg.svc.Service._other" in finding.message
+        assert "[thread root:" in finding.trace[0]
+
+    def test_inverted_acquisition_order_is_race_lock_order(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    with self._other:\n        self.count += 1",
+            "with self._other:\n    with self._lock:\n        self.count += 1",
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert "race-lock-order" in _rules(result, "error")
+        finding = next(f for f in result.findings
+                       if f.rule == "race-lock-order")
+        assert "both orders" in finding.message
+        assert "[thread root:" in finding.trace[0]
+
+    def test_lock_and_io_in_signal_handler_is_race_signal_unsafe(
+            self, tmp_path):
+        source = """
+            import signal
+            import threading
+
+            _LOCK = threading.Lock()
+
+            def handler(signum, frame):
+                with _LOCK:
+                    print("shutting down")
+
+            def run() -> None:
+                signal.signal(signal.SIGTERM, handler)
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        rules = _rules(result, "error")
+        assert set(rules) == {"race-signal-unsafe"}
+        assert len(rules) == 2  # the lock acquisition AND the print
+        for finding in result.findings:
+            assert "[thread root: signal]" in finding.trace[0]
+
+    def test_event_set_in_signal_handler_is_allowed(self, tmp_path):
+        # The serve daemon's request_shutdown idiom: Event.set() is the
+        # documented reentrant-safe minimum, not a finding.
+        source = """
+            import signal
+            import threading
+
+            STOP = threading.Event()
+
+            def handler(signum, frame):
+                STOP.set()
+
+            def run() -> None:
+                signal.signal(signal.SIGTERM, handler)
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert result.findings == []
+
+
+class TestWarnings:
+    def test_check_then_act_window_is_warned(self, tmp_path):
+        source = """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self.table = {}
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    self.table["x"] = 1
+
+                def lookup(self):
+                    if "x" in self.table:
+                        return self.table["x"]
+                    return None
+
+            def run(reg: Registry) -> None:
+                reg.start()
+                reg.lookup()
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result, "error") == []
+        assert "race-check-then-act" in _rules(result, "warning")
+
+    def test_unresolvable_thread_target_is_warned(self, tmp_path):
+        source = """
+            import threading
+
+            def run() -> None:
+                threading.Thread(target=missing_worker).start()
+        """
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result) == ["race-thread-root"]
+        [finding] = result.findings
+        assert "missing_worker" in finding.message
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses_the_finding(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    self.count += 1",
+            "self.count += 1  # repro: allow(race-unguarded) — reviewed",
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert result.findings == []
+
+    def test_stale_allow_comment_is_reported_unused(self, tmp_path):
+        source = _svc_source(
+            "with self._lock:\n    self.count += 1",
+            "with self._lock:\n    self.count += 1  "
+            "# repro: allow(race-unguarded)",
+        )
+        result = _run(tmp_path, {"svc.py": source}, SVC_ENTRIES)
+        assert _rules(result) == ["unused-suppression"]
+
+
+class TestNamespace:
+    def test_rule_namespace_is_stable(self):
+        # CI configs, allow-comments and docs all name these: renaming
+        # or dropping one is a breaking change and must be deliberate.
+        assert RACES_RULES == (
+            "race-unguarded",
+            "race-guard-mix",
+            "race-lock-order",
+            "race-signal-unsafe",
+            "race-check-then-act",
+            "race-thread-root",
+        )
+
+    def test_races_rules_join_the_shared_allow_namespace(self):
+        from repro.check.lints import _known_rules
+
+        assert set(RACES_RULES) <= _known_rules()
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_race_clean(self):
+        result = check_races()
+        assert [f.render() for f in result.findings] == []
+        # The serve layer's concurrency is actually analyzed: worker
+        # threads, HTTP handler methods and signal handlers all root
+        # the walk, and the service/journal locks are tracked.
+        assert result.info["thread_roots"] >= 1
+        assert result.info["handler_roots"] >= 2
+        assert result.info["signal_roots"] >= 1
+        assert result.info["locks"] >= 4
+        assert result.info["guarded_fields"] >= 5

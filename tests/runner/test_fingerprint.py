@@ -209,3 +209,31 @@ class TestCheckoutScripts:
         before = code_fingerprint(pkg, use_cache=False)
         (tmp_path / "scripts" / "x.py").write_text("X = 2\n")
         assert code_fingerprint(pkg, use_cache=False) == before
+
+
+class TestMemoUnderContention:
+    def test_concurrent_misses_agree_and_fill_the_memo(self, tmp_path):
+        # Regression for the _MEMO_LOCK guard: barrier-released threads
+        # all miss the memo at once; duplicate computes are allowed but
+        # every thread must return the same digest and the memo must
+        # end up filled (a torn dict write under free-threading would
+        # corrupt it).  The static side is `check --only races`.
+        import threading
+
+        root = _tree(tmp_path)
+        invalidate()
+        digests = [None] * 8
+        barrier = threading.Barrier(len(digests))
+
+        def work(i):
+            barrier.wait()
+            digests[i] = code_fingerprint(root)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(len(digests))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(set(digests)) == 1
+        assert digests[0] == code_fingerprint(root)  # memo hit agrees

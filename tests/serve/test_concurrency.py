@@ -1,0 +1,199 @@
+"""Deterministic multithread stress for the admission/breaker layer.
+
+These are the *dynamic* witnesses for the invariants the static races
+pass (``check --only races``) verifies structurally: every thread is
+released through a :class:`threading.Barrier` so the contention is
+maximal and repeatable, the clock is frozen so token refill cannot
+launder a lost update, and every assertion is an exact count — a
+single torn read-modify-write would change it.
+"""
+
+import threading
+
+from repro.runner import ResultCache, RunJournal
+from repro.runner.core import Task
+from repro.serve import (
+    BreakerConfig,
+    CircuitBreaker,
+    RateLimiter,
+    ServeRequestError,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.serve.service import JOB_DONE, JOB_QUARANTINED
+
+SETTLE_S = 10.0
+
+THREADS = 8
+
+
+def _hammer(n_threads, work):
+    """Run ``work(i)`` on ``n_threads`` barrier-released threads."""
+    barrier = threading.Barrier(n_threads)
+
+    def _runner(i):
+        barrier.wait()
+        work(i)
+
+    threads = [threading.Thread(target=_runner, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(SETTLE_S)
+        assert not thread.is_alive(), "stress thread wedged"
+
+
+class FrozenClock:
+    """A clock that advances only when the test says so."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRateLimiterUnderContention:
+    def test_one_client_gets_exactly_burst_grants(self):
+        # 8 threads x 16 tries = 128 attempts against a 32-token bucket
+        # on a frozen clock: exactly 32 may win.  A race in the bucket
+        # (which has no lock of its own — the limiter's critical
+        # section is its guard) would double-spend or lose tokens and
+        # break the exact count.
+        burst = 32
+        limiter = RateLimiter(rate=1.0, burst=float(burst),
+                              clock=FrozenClock())
+        grants = [0] * THREADS
+
+        def work(i):
+            grants[i] = sum(
+                1 for _ in range(16)
+                if limiter.try_acquire("greedy") == 0.0
+            )
+
+        _hammer(THREADS, work)
+        assert sum(grants) == burst
+
+    def test_clients_cannot_steal_each_others_tokens(self):
+        limiter = RateLimiter(rate=1.0, burst=4.0, clock=FrozenClock())
+        grants = [0] * THREADS
+
+        def work(i):
+            grants[i] = sum(
+                1 for _ in range(10)
+                if limiter.try_acquire(f"client-{i}") == 0.0
+            )
+
+        _hammer(THREADS, work)
+        assert grants == [4] * THREADS
+
+
+class TestBreakerUnderContention:
+    def test_concurrent_failures_trip_exactly_once(self):
+        # 64 concurrent failures against threshold 3: the breaker must
+        # open, and must count exactly one closed->open transition —
+        # a racy counter would either never reach the threshold or
+        # record several trips.
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=3, reset_timeout_s=1e9),
+            clock=FrozenClock(),
+        )
+
+        def work(i):
+            for _ in range(8):
+                breaker.record_failure()
+
+        _hammer(THREADS, work)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["opens"] == 1
+
+    def test_probe_limit_holds_under_concurrent_allow(self):
+        clock = FrozenClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, reset_timeout_s=5.0,
+                          probe_limit=1),
+            clock=clock,
+        )
+        breaker.record_failure()  # trips open
+        clock.advance(10.0)  # past the reset timeout, then freeze
+        admitted = [0] * THREADS
+
+        def work(i):
+            admitted[i] = sum(1 for _ in range(8) if breaker.allow())
+
+        # Every allow() now sees a half-open breaker (the probe is
+        # never settled); exactly one may pass the probe_limit gate.
+        _hammer(THREADS, work)
+        assert sum(admitted) == 1
+
+
+def _toy_fn(n=1, fail=False):
+    if fail:
+        raise RuntimeError(f"injected failure for n={n}")
+    return {"n": n}
+
+
+def _toy_resolve(request):
+    if not isinstance(request, dict) or "n" not in request:
+        raise ServeRequestError("request must carry 'n'")
+    kwargs = {"n": int(request["n"])}
+    if "fail" in request:
+        kwargs["fail"] = request["fail"]
+    return Task("toy", f"n={kwargs['n']}", _toy_fn, kwargs)
+
+
+class TestSettleSnapshotConsistency:
+    def test_status_never_shows_a_half_settled_job(self, tmp_path):
+        # Regression for the _settle fix: status/failure/attempts/
+        # finished_at now change together under the service lock, so a
+        # concurrent status() reader may see the job pending or settled
+        # but never a torn mixture (e.g. quarantined without its
+        # failure record).  Reader threads hammer status() while jobs
+        # settle; every observation must be internally consistent.
+        cache = ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+        service = SimulationService(
+            _toy_resolve, cache,
+            config=ServiceConfig(
+                workers=2, isolate=False, rate=1e6, burst=1e6,
+                breaker=BreakerConfig(failure_threshold=10_000),
+            ),
+            journal=RunJournal(cache.root, cache.fingerprint),
+        )
+        service.start()
+        try:
+            jobs = []
+            for n in range(12):
+                code, body, _ = service.submit(
+                    {"n": n, "fail": n % 2 == 0}, client=f"c{n}")
+                assert code == 202
+                jobs.append(service.job(body["id"]))
+
+            torn = []
+
+            def observe(i):
+                job = jobs[i % len(jobs)]
+                while True:
+                    settled = job.settled.is_set()
+                    _, view = service.status(job.id)
+                    if view["status"] == JOB_DONE and "failure" in view:
+                        torn.append(("done-with-failure", view))
+                    if view["status"] == JOB_QUARANTINED and (
+                            "failure" not in view
+                            or view["attempts"] < 1):
+                        torn.append(("quarantine-without-failure", view))
+                    if settled:  # one full read after settling, then stop
+                        return
+
+            _hammer(THREADS, observe)
+            for job in jobs:
+                assert job.settled.wait(SETTLE_S)
+            assert torn == []
+            statuses = {job.id: job.status for job in jobs}
+            assert set(statuses.values()) == {JOB_DONE, JOB_QUARANTINED}
+        finally:
+            service.drain(1.0)
